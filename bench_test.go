@@ -1,0 +1,149 @@
+// Package batchmaker_test hosts the benchmark harness: one testing.B per
+// table/figure of the paper's evaluation (§7), each regenerating the
+// figure's data through internal/bench at a trimmed (Quick) scale. Run the
+// full-scale sweeps with `go run ./cmd/repro -exp all`.
+package batchmaker_test
+
+import (
+	"testing"
+	"time"
+
+	"batchmaker/internal/bench"
+)
+
+// benchOpts returns trimmed options suitable for repeated runs under
+// `go test -bench`. The Seed varies per iteration so repeated iterations
+// are not byte-identical replays.
+func benchOpts(i int) bench.Options {
+	return bench.Options{
+		Quick:    true,
+		Duration: 150 * time.Millisecond,
+		Warmup:   75 * time.Millisecond,
+		Seed:     uint64(i + 1),
+	}
+}
+
+func runExperiment(b *testing.B, name string, metric func(*bench.Report) (float64, string)) {
+	b.Helper()
+	var lastVal float64
+	var lastUnit string
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Run(name, benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != nil {
+			lastVal, lastUnit = metric(rep)
+		}
+	}
+	if metric != nil {
+		b.ReportMetric(lastVal, lastUnit)
+	}
+}
+
+func peak(system string) func(*bench.Report) (float64, string) {
+	return func(r *bench.Report) (float64, string) {
+		return r.PeakThroughput(system), "peak_req/s"
+	}
+}
+
+// BenchmarkFig3_MicroLSTMStep regenerates Figure 3 (LSTM step latency vs
+// throughput microbenchmark, CPU and GPU curves).
+func BenchmarkFig3_MicroLSTMStep(b *testing.B) {
+	runExperiment(b, "fig3", nil)
+}
+
+// BenchmarkFig5_Timeline regenerates Figure 5 (graph vs cellular batching
+// timeline for 8 requests).
+func BenchmarkFig5_Timeline(b *testing.B) {
+	runExperiment(b, "fig5", nil)
+}
+
+// BenchmarkFig7a_LSTM512 regenerates Figure 7a (LSTM, WMT lengths, 1 GPU,
+// bmax=512; BatchMaker vs TensorFlow vs MXNet).
+func BenchmarkFig7a_LSTM512(b *testing.B) {
+	runExperiment(b, "fig7a", peak("BatchMaker-lstm"))
+}
+
+// BenchmarkFig7b_LSTM64 regenerates Figure 7b (same at bmax=64).
+func BenchmarkFig7b_LSTM64(b *testing.B) {
+	runExperiment(b, "fig7b", peak("BatchMaker-lstm"))
+}
+
+// BenchmarkFig8_BucketWidth regenerates Figure 8 (MXNet bucket-width
+// trade-off).
+func BenchmarkFig8_BucketWidth(b *testing.B) {
+	runExperiment(b, "fig8", nil)
+}
+
+// BenchmarkFig9_Breakdown regenerates Figure 9 (queuing/computation CDFs at
+// 5k req/s).
+func BenchmarkFig9_Breakdown(b *testing.B) {
+	runExperiment(b, "fig9", nil)
+}
+
+// BenchmarkFig10_LengthCDF regenerates Figure 10 (dataset length CDF).
+func BenchmarkFig10_LengthCDF(b *testing.B) {
+	runExperiment(b, "fig10", nil)
+}
+
+// BenchmarkFig11_Variance regenerates Figure 11 (sequence-length variance
+// sweep: fixed 24 / clip 50 / clip 100).
+func BenchmarkFig11_Variance(b *testing.B) {
+	runExperiment(b, "fig11", nil)
+}
+
+// BenchmarkFig13a_Seq2Seq2GPU regenerates Figure 13a (Seq2Seq, 2 GPUs).
+func BenchmarkFig13a_Seq2Seq2GPU(b *testing.B) {
+	runExperiment(b, "fig13a", peak("BatchMaker-512,256"))
+}
+
+// BenchmarkFig13b_Seq2Seq4GPU regenerates Figure 13b (Seq2Seq, 4 GPUs).
+func BenchmarkFig13b_Seq2Seq4GPU(b *testing.B) {
+	runExperiment(b, "fig13b", peak("BatchMaker-512,256"))
+}
+
+// BenchmarkFig14_TreeLSTM regenerates Figure 14 (TreeLSTM on TreeBank-like
+// trees vs TensorFlow Fold and DyNet).
+func BenchmarkFig14_TreeLSTM(b *testing.B) {
+	runExperiment(b, "fig14", peak("BatchMaker-treelstm"))
+}
+
+// BenchmarkFig15_FixedTree regenerates Figure 15 (identical 16-leaf trees,
+// including the Ideal hardcoded-graph baseline).
+func BenchmarkFig15_FixedTree(b *testing.B) {
+	runExperiment(b, "fig15", peak("Ideal"))
+}
+
+// BenchmarkSummary_Headlines regenerates the §7 headline comparisons.
+func BenchmarkSummary_Headlines(b *testing.B) {
+	runExperiment(b, "summary", nil)
+}
+
+// BenchmarkAblation_MaxTasksToSubmit sweeps Algorithm 1's
+// MaxTasksToSubmit parameter.
+func BenchmarkAblation_MaxTasksToSubmit(b *testing.B) {
+	runExperiment(b, "ablation-mts", nil)
+}
+
+// BenchmarkAblation_Priority compares decoder-priority on/off.
+func BenchmarkAblation_Priority(b *testing.B) {
+	runExperiment(b, "ablation-priority", nil)
+}
+
+// BenchmarkAblation_Overhead sweeps the scheduling/gather overhead scale.
+func BenchmarkAblation_Overhead(b *testing.B) {
+	runExperiment(b, "ablation-overhead", nil)
+}
+
+// BenchmarkAblation_Timeout compares timeout-based batch formation against
+// the paper's no-timeout policy for the bucketing baseline (§7.1).
+func BenchmarkAblation_Timeout(b *testing.B) {
+	runExperiment(b, "ablation-timeout", nil)
+}
+
+// BenchmarkAblation_CPU serves on the CPU cost curve (§2.2's CPU-vs-GPU
+// comparison, end to end).
+func BenchmarkAblation_CPU(b *testing.B) {
+	runExperiment(b, "ablation-cpu", nil)
+}

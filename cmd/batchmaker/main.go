@@ -1,0 +1,229 @@
+// Command batchmaker runs a live cellular-batching inference server over
+// TCP with a newline-delimited JSON protocol, serving a Seq2Seq model.
+//
+// Protocol (one JSON object per line):
+//
+//	request:  {"ids": [4, 9, 2], "decode": 3}
+//	response: {"words": [7, 7, 2]} or {"error": "..."}
+//
+// Run `batchmaker -demo` to start the server, drive it with a built-in
+// concurrent client, print the batching statistics, and exit — a fully
+// offline smoke of the serving path.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/server"
+	"batchmaker/internal/tensor"
+)
+
+type apiRequest struct {
+	IDs    []int `json:"ids"`
+	Decode int   `json:"decode"`
+	// UntilEOS switches to dynamic decoding: generate until the model
+	// emits <eos> or Decode steps (the deployed behavior §7.4 describes).
+	UntilEOS bool `json:"until_eos,omitempty"`
+}
+
+type apiResponse struct {
+	Words []int  `json:"words,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+type app struct {
+	enc *rnn.EncoderCell
+	dec *rnn.DecoderCell
+	srv *server.Server
+}
+
+func newApp(vocab, embed, hidden, workers int) (*app, error) {
+	rng := tensor.NewRNG(2018)
+	enc := rnn.NewEncoderCell("encoder", vocab, embed, hidden, rng)
+	dec := rnn.NewDecoderCell("decoder", vocab, embed, hidden, rng)
+	srv, err := server.New(server.Config{
+		Workers: workers,
+		Cells: []server.CellSpec{
+			{Cell: enc, MaxBatch: 64, Priority: 0},
+			{Cell: dec, MaxBatch: 32, Priority: 1},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &app{enc: enc, dec: dec, srv: srv}, nil
+}
+
+func (a *app) handle(ctx context.Context, req apiRequest) apiResponse {
+	if req.Decode <= 0 {
+		req.Decode = len(req.IDs)
+	}
+	if req.UntilEOS {
+		return a.handleGenerate(ctx, req)
+	}
+	g, err := cellgraph.UnfoldSeq2Seq(a.enc, a.dec, req.IDs, req.Decode)
+	if err != nil {
+		return apiResponse{Error: err.Error()}
+	}
+	out, err := a.srv.Submit(ctx, g)
+	if err != nil {
+		return apiResponse{Error: err.Error()}
+	}
+	words := make([]int, req.Decode)
+	for t := range words {
+		words[t] = int(out[fmt.Sprintf("word%d", t)].At(0, 0))
+	}
+	return apiResponse{Words: words}
+}
+
+// handleGenerate encodes the source then decodes dynamically until <eos>.
+func (a *app) handleGenerate(ctx context.Context, req apiRequest) apiResponse {
+	prompt, err := cellgraph.UnfoldChainIDs(a.enc, req.IDs)
+	if err != nil {
+		return apiResponse{Error: err.Error()}
+	}
+	emitted, err := a.srv.Generate(ctx, server.GenerateSpec{
+		Prompt:     prompt,
+		SeedNode:   cellgraph.NodeID(len(req.IDs) - 1),
+		Cell:       a.dec,
+		FeedBack:   map[string]string{"ids": "word", "h": "h", "c": "c"},
+		FirstStep:  map[string]float32{"ids": float32(rnn.TokenGo)},
+		StopOutput: "word",
+		StopToken:  float32(rnn.TokenEOS),
+		MaxSteps:   req.Decode,
+	})
+	if err != nil {
+		return apiResponse{Error: err.Error()}
+	}
+	words := make([]int, len(emitted))
+	for i, v := range emitted {
+		words[i] = int(v)
+	}
+	return apiResponse{Words: words}
+}
+
+func (a *app) serveConn(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req apiRequest
+		resp := apiResponse{}
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp.Error = "bad request: " + err.Error()
+		} else {
+			resp = a.handle(context.Background(), req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7431", "listen address")
+		vocab   = flag.Int("vocab", 2000, "vocabulary size")
+		embed   = flag.Int("embed", 64, "embedding width")
+		hidden  = flag.Int("hidden", 256, "hidden width")
+		workers = flag.Int("workers", 2, "worker count")
+		demo    = flag.Bool("demo", false, "drive the server with a built-in client and exit")
+	)
+	flag.Parse()
+
+	a, err := newApp(*vocab, *embed, *hidden, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.srv.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("batchmaker serving Seq2Seq (vocab=%d hidden=%d) on %s", *vocab, *hidden, ln.Addr())
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go a.serveConn(conn)
+		}
+	}()
+
+	if !*demo {
+		select {} // serve forever
+	}
+
+	if err := runDemoClient(ln.Addr().String(), *vocab); err != nil {
+		log.Fatal(err)
+	}
+	st := a.srv.Stats()
+	fmt.Printf("server stats: %d tasks, %d cells, batch histogram %v\n",
+		st.TasksRun, st.CellsRun, st.BatchSizes)
+}
+
+// runDemoClient fires concurrent translation requests at the server.
+func runDemoClient(addr string, vocab int) error {
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer conn.Close()
+			enc := json.NewEncoder(conn)
+			dec := json.NewDecoder(conn)
+			rng := tensor.NewRNG(uint64(c + 1))
+			for i := 0; i < 4; i++ {
+				ids := make([]int, 2+rng.Intn(8))
+				for j := range ids {
+					ids[j] = 2 + rng.Intn(vocab-2)
+				}
+				if err := enc.Encode(apiRequest{IDs: ids}); err != nil {
+					errs[c] = err
+					return
+				}
+				var resp apiResponse
+				if err := dec.Decode(&resp); err != nil {
+					errs[c] = err
+					return
+				}
+				if resp.Error != "" {
+					errs[c] = fmt.Errorf("server error: %s", resp.Error)
+					return
+				}
+				fmt.Printf("client %d: src %v -> out %v\n", c, ids, resp.Words)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	_ = os.Stdout.Sync()
+	return nil
+}

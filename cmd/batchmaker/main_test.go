@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+)
+
+func testApp(t *testing.T) *app {
+	t.Helper()
+	a, err := newApp(50, 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.srv.Stop)
+	return a
+}
+
+func TestHandleFixedDecode(t *testing.T) {
+	a := testApp(t)
+	resp := a.handle(context.Background(), apiRequest{IDs: []int{4, 5, 6}, Decode: 4})
+	if resp.Error != "" {
+		t.Fatalf("error: %s", resp.Error)
+	}
+	if len(resp.Words) != 4 {
+		t.Fatalf("words = %v", resp.Words)
+	}
+	for _, w := range resp.Words {
+		if w < 0 || w >= 50 {
+			t.Fatalf("word %d out of vocabulary", w)
+		}
+	}
+}
+
+func TestHandleDefaultsDecodeToSourceLength(t *testing.T) {
+	a := testApp(t)
+	resp := a.handle(context.Background(), apiRequest{IDs: []int{4, 5}})
+	if resp.Error != "" || len(resp.Words) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestHandleUntilEOS(t *testing.T) {
+	a := testApp(t)
+	resp := a.handle(context.Background(), apiRequest{IDs: []int{4, 5, 6}, Decode: 10, UntilEOS: true})
+	if resp.Error != "" {
+		t.Fatalf("error: %s", resp.Error)
+	}
+	if len(resp.Words) == 0 || len(resp.Words) > 10 {
+		t.Fatalf("words = %v", resp.Words)
+	}
+}
+
+func TestHandleBadRequest(t *testing.T) {
+	a := testApp(t)
+	if resp := a.handle(context.Background(), apiRequest{IDs: nil}); resp.Error == "" {
+		t.Fatal("want error for empty source")
+	}
+	if resp := a.handle(context.Background(), apiRequest{IDs: []int{999}}); resp.Error == "" {
+		t.Fatal("want error for out-of-vocabulary id")
+	}
+}
+
+func TestServeConnProtocol(t *testing.T) {
+	a := testApp(t)
+	client, srvSide := net.Pipe()
+	go a.serveConn(srvSide)
+	defer client.Close()
+
+	enc := json.NewEncoder(client)
+	scanner := bufio.NewScanner(client)
+
+	if err := enc.Encode(apiRequest{IDs: []int{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if !scanner.Scan() {
+		t.Fatal("no response")
+	}
+	var resp apiResponse
+	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" || len(resp.Words) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	// Malformed JSON gets an error response, not a dropped connection.
+	if _, err := client.Write([]byte("{bad json\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !scanner.Scan() {
+		t.Fatal("no response to malformed request")
+	}
+	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatal("want protocol error")
+	}
+
+	// The connection still works afterwards.
+	if err := enc.Encode(apiRequest{IDs: []int{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if !scanner.Scan() {
+		t.Fatal("connection died after bad request")
+	}
+}

@@ -1,0 +1,85 @@
+// Command repro regenerates the paper's evaluation figures from the
+// simulation harness.
+//
+// Usage:
+//
+//	repro -exp fig7a            # one experiment
+//	repro -exp all              # everything
+//	repro -exp fig14 -quick     # trimmed load sweep
+//	repro -list                 # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"batchmaker/internal/bench"
+)
+
+// writeCSV dumps one experiment's points to <dir>/<id>.csv.
+func writeCSV(dir, id string, rep *bench.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (fig3, fig5, fig7a, fig7b, fig8, fig9, fig10, fig11, fig13a, fig13b, fig14, fig15, summary, all)")
+		quick    = flag.Bool("quick", false, "trimmed load sweeps")
+		duration = flag.Duration("duration", 0, "measured virtual window per load point (default 1s, 250ms with -quick)")
+		warmup   = flag.Duration("warmup", 0, "warmup window (default duration/2)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir   = flag.String("csv", "", "also write each experiment's data points to <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Experiments(), "\n"))
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := bench.Options{
+		Out:      os.Stdout,
+		Quick:    *quick,
+		Duration: *duration,
+		Warmup:   *warmup,
+		Seed:     *seed,
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" && len(rep.Points) > 0 {
+			if err := writeCSV(*csvDir, id, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module batchmaker
+
+go 1.22

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"batchmaker/internal/core"
+	"batchmaker/internal/dataset"
+	"batchmaker/internal/device"
+	"batchmaker/internal/sim"
+)
+
+// Ablations beyond the paper's figures: they isolate the contribution of
+// individual design choices DESIGN.md calls out (MaxTasksToSubmit, cell
+// priorities, the per-task overhead model). Registered as experiments
+// "ablation-mts", "ablation-priority" and "ablation-overhead".
+
+func init() {
+	registry["ablation-mts"] = AblationMaxTasks
+	registry["ablation-priority"] = AblationPriority
+	registry["ablation-overhead"] = AblationOverhead
+	registry["ablation-timeout"] = AblationTimeout
+	registry["ablation-cpu"] = AblationCPU
+}
+
+// AblationCPU serves the LSTM workload on the CPU cost curve instead of the
+// GPU one, quantifying §2.2's observation that "the CPU performance lags
+// far behind that of the GPU" in end-to-end serving terms (the paper's
+// Figure 3 compares them only at the single-step level).
+func AblationCPU(o Options) (*Report, error) {
+	rep := &Report{Name: "ablation-cpu", Title: "CPU vs GPU substrate (BatchMaker, LSTM, WMT)"}
+	backends := []struct {
+		label string
+		curve device.Curve
+		rates []float64
+	}{
+		{"gpu", device.LSTMGPUCurve(), []float64{1_000, 4_000, 16_000}},
+		{"cpu", device.LSTMCPUCurve(), []float64{200, 1_000, 2_400}},
+	}
+	for _, b := range backends {
+		model := sim.NewLSTMModel(512, 1)
+		model.Costs().SetCurve(sim.TypeLSTM, b.curve)
+		for _, rate := range b.rates {
+			wl := &sim.LSTMWorkload{Lengths: dataset.NewWMTLengths(o.Seed + 100)}
+			res, err := sim.RunBatchMaker(bmConfig(model, 1), wl, o.run(rate, 0))
+			if err != nil {
+				return nil, err
+			}
+			res.System = "BM-" + b.label
+			rep.addResult(res)
+		}
+	}
+	return rep, nil
+}
+
+// AblationTimeout reproduces §7.1's batching-policy comparison for the
+// bucketing baseline: forming batches with an accumulation timeout vs the
+// paper's choice of executing a (possibly partial) batch whenever a GPU is
+// idle and round-robin reaches the bucket. The paper found no-timeout
+// "achieves lower latency than any configuration of the timeout-based
+// strategy".
+func AblationTimeout(o Options) (*Report, error) {
+	rep := &Report{Name: "ablation-timeout", Title: "bucketing batch-formation policy: no-timeout vs timeouts (MXNet, LSTM)"}
+	model := sim.NewLSTMModel(512, 1)
+	for _, timeout := range []time.Duration{0, 2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		for _, rate := range []float64{2_000, 8_000} {
+			cfg := lstmBucketing("MXNet", model, 1, 10, 512)
+			cfg.BatchTimeout = timeout
+			if timeout == 0 {
+				cfg.SystemName = "MXNet-no-timeout"
+			} else {
+				cfg.SystemName = fmt.Sprintf("MXNet-timeout-%v", timeout)
+			}
+			wl := &sim.LSTMWorkload{Lengths: dataset.NewWMTLengths(o.Seed + 100)}
+			res, err := sim.RunBucketing(cfg, wl, o.runScaled(rate, 0, 5))
+			if err != nil {
+				return nil, err
+			}
+			rep.addResult(res)
+		}
+	}
+	return rep, nil
+}
+
+// AblationMaxTasks sweeps Algorithm 1's MaxTasksToSubmit. Too small starves
+// the GPU between scheduling rounds; too large delays newly arrived
+// requests from joining (§4.3 sets 5 as the default).
+func AblationMaxTasks(o Options) (*Report, error) {
+	rep := &Report{Name: "ablation-mts", Title: "MaxTasksToSubmit sweep (LSTM, WMT, 1 GPU)"}
+	model := sim.NewLSTMModel(512, 1)
+	for _, mts := range []int{1, 2, 5, 10, 20} {
+		for _, rate := range []float64{5_000, 15_000} {
+			cfg := bmConfig(model, 1)
+			cfg.MaxTasksToSubmit = mts
+			wl := &sim.LSTMWorkload{Lengths: dataset.NewWMTLengths(o.Seed + 100)}
+			res, err := sim.RunBatchMaker(cfg, wl, o.run(rate, 0))
+			if err != nil {
+				return nil, err
+			}
+			res.System = fmt.Sprintf("BM-mts%d", mts)
+			rep.addResult(res)
+		}
+	}
+	return rep, nil
+}
+
+// AblationPriority compares later-phase-priority on vs off (and inverted)
+// for TreeLSTM. Priority only breaks ties within one selection rule of
+// Algorithm 1, so its effect shows at moderate load where leaf and internal
+// cells are both ready without full batches: prioritizing internal cells
+// (the paper's choice) lets trees near completion finish ahead of freshly
+// arrived leaf work.
+func AblationPriority(o Options) (*Report, error) {
+	rep := &Report{Name: "ablation-priority", Title: "cell-priority ablation (TreeLSTM, 1 GPU)"}
+	variants := []struct {
+		label    string
+		internal int // priority of internal cells (leaves stay 0)
+	}{
+		{"internal-first", 1}, // the paper's policy
+		{"flat", 0},
+		{"leaf-first", -1},
+	}
+	for _, v := range variants {
+		model := sim.NewTreeModel(64, 1).WithTypes(func(tc []core.TypeConfig) []core.TypeConfig {
+			for i := range tc {
+				if tc[i].Key == sim.TypeInternal {
+					tc[i].Priority = v.internal
+				} else {
+					tc[i].Priority = 0
+				}
+			}
+			return tc
+		})
+		for _, rate := range []float64{1_500, 3_000} {
+			wl := &sim.TreeWorkload{Trees: dataset.NewTreeSampler(o.Seed+300, 30_000)}
+			res, err := sim.RunBatchMaker(bmConfig(model, 1), wl, o.run(rate, 0))
+			if err != nil {
+				return nil, err
+			}
+			res.System = "BM-" + v.label
+			rep.addResult(res)
+		}
+	}
+	return rep, nil
+}
+
+// AblationOverhead sweeps the per-task scheduling+gather overhead to show
+// how sensitive cellular batching is to its own bookkeeping cost (the §7.3
+// discussion of the 87%-of-ideal gap).
+func AblationOverhead(o Options) (*Report, error) {
+	rep := &Report{Name: "ablation-overhead", Title: "scheduling/gather overhead sensitivity (fixed-len 24)"}
+	model := sim.NewLSTMModel(512, 1)
+	wlShape := sim.Shape{Kind: sim.KindChain, Len: 24}
+	for _, scale := range []float64{0, 0.5, 1, 2, 4} {
+		cfg := bmConfig(model, 1)
+		ov := device.DefaultOverheads()
+		ov.GatherBase = time.Duration(float64(ov.GatherBase) * scale)
+		ov.GatherSqrt = time.Duration(float64(ov.GatherSqrt) * scale)
+		ov.KernelLaunch = time.Duration(float64(ov.KernelLaunch) * scale)
+		cfg.Overheads = ov
+		res, err := sim.RunBatchMaker(cfg, &sim.FixedWorkload{Shape: wlShape}, o.run(40_000, 0))
+		if err != nil {
+			return nil, err
+		}
+		res.System = fmt.Sprintf("BM-ovx%.1f", scale)
+		p := rep.addResult(res)
+		rep.printf("  overhead x%.1f -> %.1f%% of the 27.1k theoretical peak", scale, 100*p.Throughput/27136)
+	}
+	return rep, nil
+}

@@ -1,0 +1,199 @@
+// Package cellgraph implements per-request unfolded cell graphs.
+//
+// When a request arrives, BatchMaker's request processor runs a user-defined
+// unfolding function that expands the request into a coarse-grained dataflow
+// graph whose nodes are cell invocations and whose edges carry tensors
+// between cells (§3.1, §4.2). This package provides that graph, the standard
+// unfolding functions for the paper's three applications (LSTM chains,
+// Seq2Seq encode+decode, TreeLSTM trees), the partitioning of a cell graph
+// into same-type subgraphs used by the scheduler (§4.3), and a sequential
+// reference executor used in tests and by the graph-batching baselines.
+package cellgraph
+
+import (
+	"fmt"
+
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/tensor"
+)
+
+// NodeID identifies a node within one request's cell graph.
+type NodeID int
+
+// NoNode is the absent-node sentinel used in literal bindings.
+const NoNode NodeID = -1
+
+// Binding says where one named input of a node comes from: either a literal
+// single-row tensor fixed at unfold time (word ids, initial zero state), or
+// the named output of another node in the same graph.
+type Binding struct {
+	From    NodeID         // NoNode for literals
+	Output  string         // producing node's output name (when From != NoNode)
+	Literal *tensor.Tensor // [1, w] (when From == NoNode)
+}
+
+// Lit builds a literal binding.
+func Lit(t *tensor.Tensor) Binding { return Binding{From: NoNode, Literal: t} }
+
+// Ref builds a node-output binding.
+func Ref(n NodeID, output string) Binding { return Binding{From: n, Output: output} }
+
+// Node is one cell invocation in a request's unfolded graph.
+type Node struct {
+	ID     NodeID
+	Cell   rnn.Cell
+	Inputs map[string]Binding
+}
+
+// Deps returns the IDs of the nodes this node reads from (deduplicated).
+func (n *Node) Deps() []NodeID {
+	seen := make(map[NodeID]bool, len(n.Inputs))
+	var deps []NodeID
+	for _, b := range n.Inputs {
+		if b.From != NoNode && !seen[b.From] {
+			seen[b.From] = true
+			deps = append(deps, b.From)
+		}
+	}
+	return deps
+}
+
+// OutputSpec names one tensor of the request's final result.
+type OutputSpec struct {
+	Name   string
+	Node   NodeID
+	Output string
+}
+
+// Graph is a request's unfolded cell graph.
+type Graph struct {
+	Nodes   []*Node
+	Results []OutputSpec
+}
+
+// Validate checks referential integrity and acyclicity.
+func (g *Graph) Validate() error {
+	for i, n := range g.Nodes {
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("cellgraph: node %d has ID %d; IDs must be dense indices", i, n.ID)
+		}
+		if n.Cell == nil {
+			return fmt.Errorf("cellgraph: node %d has no cell", i)
+		}
+		for _, name := range n.Cell.InputNames() {
+			b, ok := n.Inputs[name]
+			if !ok {
+				return fmt.Errorf("cellgraph: node %d (%s) missing binding for input %q", i, n.Cell.Name(), name)
+			}
+			if b.From == NoNode {
+				if b.Literal == nil {
+					return fmt.Errorf("cellgraph: node %d input %q: literal binding without tensor", i, name)
+				}
+				if b.Literal.Rank() != 2 || b.Literal.Dim(0) != 1 {
+					return fmt.Errorf("cellgraph: node %d input %q: literal must be a [1,w] row, got %v", i, name, b.Literal.Shape())
+				}
+				continue
+			}
+			if b.From < 0 || int(b.From) >= len(g.Nodes) {
+				return fmt.Errorf("cellgraph: node %d input %q references unknown node %d", i, name, b.From)
+			}
+			producer := g.Nodes[b.From]
+			if !contains(producer.Cell.OutputNames(), b.Output) {
+				return fmt.Errorf("cellgraph: node %d input %q references output %q that node %d (%s) does not produce",
+					i, name, b.Output, b.From, producer.Cell.Name())
+			}
+		}
+	}
+	for _, r := range g.Results {
+		if r.Node < 0 || int(r.Node) >= len(g.Nodes) {
+			return fmt.Errorf("cellgraph: result %q references unknown node %d", r.Name, r.Node)
+		}
+		if !contains(g.Nodes[r.Node].Cell.OutputNames(), r.Output) {
+			return fmt.Errorf("cellgraph: result %q references missing output %q of node %d", r.Name, r.Output, r.Node)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns node IDs in dependency order, or an error on a cycle.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	indeg := make([]int, len(g.Nodes))
+	dependents := make([][]NodeID, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, d := range n.Deps() {
+			indeg[n.ID]++
+			dependents[d] = append(dependents[d], n.ID)
+		}
+	}
+	order := make([]NodeID, 0, len(g.Nodes))
+	var ready []NodeID
+	for i := range g.Nodes {
+		if indeg[i] == 0 {
+			ready = append(ready, NodeID(i))
+		}
+	}
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, d := range dependents[id] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("cellgraph: graph contains a cycle")
+	}
+	return order, nil
+}
+
+// NumCells returns the total number of cell invocations in the graph.
+func (g *Graph) NumCells() int { return len(g.Nodes) }
+
+// CellCountByType returns the number of nodes per cell type key.
+func (g *Graph) CellCountByType() map[string]int {
+	m := make(map[string]int)
+	for _, n := range g.Nodes {
+		m[n.Cell.TypeKey()]++
+	}
+	return m
+}
+
+// CriticalPathLen returns the length (in cells) of the longest dependency
+// chain in the graph — the minimum number of sequential batched steps the
+// request needs.
+func (g *Graph) CriticalPathLen() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	depth := make([]int, len(g.Nodes))
+	longest := 0
+	for _, id := range order {
+		d := 1
+		for _, dep := range g.Nodes[id].Deps() {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[id] = d
+		if d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

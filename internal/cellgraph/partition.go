@@ -1,0 +1,95 @@
+package cellgraph
+
+import "sort"
+
+// Subgraph is a connected group of same-cell-type nodes within one request's
+// cell graph (§4.3): "a subgraph contains a single node or a number of
+// connected nodes with the property that all external dependencies to other
+// parts of the graph have been satisfied", and all its nodes share one cell
+// type. Subgraphs are the unit the scheduler pins to workers.
+//
+// For a Seq2Seq request the encoder chain forms one subgraph and the decoder
+// chain another; for a 16-leaf TreeLSTM request there are 16 single-node
+// leaf subgraphs and one 31-node internal subgraph (§4.4).
+type Subgraph struct {
+	TypeKey string
+	Nodes   []NodeID // in ascending ID order
+
+	// ExternalDeps are nodes outside the subgraph that some member reads.
+	// The subgraph is released to the scheduler once all of them completed.
+	ExternalDeps []NodeID
+}
+
+// Partition splits a cell graph into subgraphs: connected components of the
+// undirected "same cell type and directly connected" relation. Output order
+// is deterministic (by smallest member ID).
+func Partition(g *Graph) []*Subgraph {
+	n := len(g.Nodes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, node := range g.Nodes {
+		for _, d := range node.Deps() {
+			if g.Nodes[d].Cell.TypeKey() == node.Cell.TypeKey() {
+				union(int(d), int(node.ID))
+			}
+		}
+	}
+	groups := make(map[int][]NodeID)
+	for i := range g.Nodes {
+		r := find(i)
+		groups[r] = append(groups[r], NodeID(i))
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	// Sort each group's members and order subgraphs by smallest member.
+	subs := make([]*Subgraph, 0, len(groups))
+	for _, r := range roots {
+		members := groups[r]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		inSub := make(map[NodeID]bool, len(members))
+		for _, m := range members {
+			inSub[m] = true
+		}
+		var ext []NodeID
+		seen := make(map[NodeID]bool)
+		for _, m := range members {
+			for _, d := range g.Nodes[m].Deps() {
+				if !inSub[d] && !seen[d] {
+					seen[d] = true
+					ext = append(ext, d)
+				}
+			}
+		}
+		sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
+		subs = append(subs, &Subgraph{
+			TypeKey:      g.Nodes[members[0]].Cell.TypeKey(),
+			Nodes:        members,
+			ExternalDeps: ext,
+		})
+	}
+	// Deterministic overall order by first member.
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Nodes[0] < subs[j].Nodes[0] })
+	return subs
+}
+
+// Size returns the number of nodes in the subgraph.
+func (s *Subgraph) Size() int { return len(s.Nodes) }

@@ -1,0 +1,162 @@
+package cellgraph
+
+import (
+	"fmt"
+
+	"batchmaker/internal/tensor"
+)
+
+// State tracks the execution progress of one request's cell graph: which
+// nodes have completed, which are ready (all dependencies computed), and the
+// produced tensors. It is the request processor's per-request bookkeeping
+// (§4.2: "Request processor will track and update the dependencies of each
+// node").
+//
+// State is not safe for concurrent use; the owner (request processor or the
+// simulator) serializes access.
+type State struct {
+	g          *Graph
+	outputs    []map[string]*tensor.Tensor
+	pending    []int // uncomputed dependency count per node
+	dependents [][]NodeID
+	issued     []bool
+	done       []bool
+	ready      []NodeID
+	remained   int
+}
+
+// NewState validates g and returns fresh execution state with all
+// zero-dependency nodes ready.
+func NewState(g *Graph) (*State, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	s := &State{
+		g:          g,
+		outputs:    make([]map[string]*tensor.Tensor, len(g.Nodes)),
+		pending:    make([]int, len(g.Nodes)),
+		dependents: make([][]NodeID, len(g.Nodes)),
+		issued:     make([]bool, len(g.Nodes)),
+		done:       make([]bool, len(g.Nodes)),
+		remained:   len(g.Nodes),
+	}
+	for _, n := range g.Nodes {
+		deps := n.Deps()
+		s.pending[n.ID] = len(deps)
+		for _, d := range deps {
+			s.dependents[d] = append(s.dependents[d], n.ID)
+		}
+		if s.pending[n.ID] == 0 {
+			s.ready = append(s.ready, n.ID)
+		}
+	}
+	return s, nil
+}
+
+// Graph returns the underlying cell graph.
+func (s *State) Graph() *Graph { return s.g }
+
+// Ready returns the nodes whose dependencies are satisfied and that have not
+// been issued for execution yet. The returned slice is owned by the caller.
+func (s *State) Ready() []NodeID {
+	out := make([]NodeID, 0, len(s.ready))
+	for _, id := range s.ready {
+		if !s.issued[id] && !s.done[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MarkIssued records that a node has been placed into a batched task, so it
+// is not handed out twice while in flight.
+func (s *State) MarkIssued(id NodeID) {
+	if s.pending[id] != 0 {
+		panic(fmt.Sprintf("cellgraph: issuing node %d with %d unmet deps", id, s.pending[id]))
+	}
+	if s.done[id] {
+		panic(fmt.Sprintf("cellgraph: issuing completed node %d", id))
+	}
+	s.issued[id] = true
+}
+
+// Issued reports whether the node is currently in flight.
+func (s *State) Issued(id NodeID) bool { return s.issued[id] }
+
+// Done reports whether the node has completed.
+func (s *State) Done(id NodeID) bool { return s.done[id] }
+
+// InputRow materializes one named input of a node as a [1, w] row, either
+// from the literal binding or from the producing node's stored output. It
+// panics if a referenced producer has not completed — the scheduler must
+// never execute a node before its dependencies (tested invariant).
+func (s *State) InputRow(id NodeID, name string) *tensor.Tensor {
+	b, ok := s.g.Nodes[id].Inputs[name]
+	if !ok {
+		panic(fmt.Sprintf("cellgraph: node %d has no input %q", id, name))
+	}
+	if b.From == NoNode {
+		return b.Literal
+	}
+	out := s.outputs[b.From]
+	if out == nil {
+		panic(fmt.Sprintf("cellgraph: node %d reads output %q of incomplete node %d", id, b.Output, b.From))
+	}
+	return out[b.Output]
+}
+
+// Complete stores a node's outputs (each [1, w]) and returns the IDs of
+// nodes that became ready as a result.
+func (s *State) Complete(id NodeID, outputs map[string]*tensor.Tensor) []NodeID {
+	if s.done[id] {
+		panic(fmt.Sprintf("cellgraph: node %d completed twice", id))
+	}
+	for _, name := range s.g.Nodes[id].Cell.OutputNames() {
+		if _, ok := outputs[name]; !ok {
+			panic(fmt.Sprintf("cellgraph: node %d completion missing output %q", id, name))
+		}
+	}
+	s.done[id] = true
+	s.issued[id] = false
+	s.outputs[id] = outputs
+	s.remained--
+
+	var newlyReady []NodeID
+	for _, dep := range s.dependents[id] {
+		s.pending[dep]--
+		if s.pending[dep] == 0 {
+			s.ready = append(s.ready, dep)
+			newlyReady = append(newlyReady, dep)
+		}
+	}
+	return newlyReady
+}
+
+// Finished reports whether every node has completed.
+func (s *State) Finished() bool { return s.remained == 0 }
+
+// Remaining returns the number of uncompleted nodes.
+func (s *State) Remaining() int { return s.remained }
+
+// Results assembles the request's declared result tensors. It panics if the
+// request has not finished.
+func (s *State) Results() map[string]*tensor.Tensor {
+	if !s.Finished() {
+		panic("cellgraph: Results before completion")
+	}
+	out := make(map[string]*tensor.Tensor, len(s.g.Results))
+	for _, r := range s.g.Results {
+		out[r.Name] = s.outputs[r.Node][r.Output]
+	}
+	return out
+}
+
+// NodeOutput returns a completed node's named output, for callers that need
+// intermediate tensors (e.g. classifier heads over the root state).
+func (s *State) NodeOutput(id NodeID, name string) (*tensor.Tensor, bool) {
+	if s.outputs[id] == nil {
+		return nil, false
+	}
+	t, ok := s.outputs[id][name]
+	return t, ok
+}

@@ -1,0 +1,311 @@
+package cellgraph
+
+import (
+	"fmt"
+
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/tensor"
+)
+
+// UnfoldChain expands a chain-structured RNN request (the paper's Figure 1)
+// into a cell graph: one node per timestep, with h and c flowing forward and
+// each step's x bound as a literal row of xs (shape [len, in]). The result
+// is the final hidden state, named "h".
+func UnfoldChain(cell *rnn.LSTMCell, xs *tensor.Tensor) (*Graph, error) {
+	if xs.Rank() != 2 || xs.Dim(1) != cell.InDim() {
+		return nil, fmt.Errorf("cellgraph: chain inputs must be [len, %d], got %v", cell.InDim(), xs.Shape())
+	}
+	steps := xs.Dim(0)
+	if steps == 0 {
+		return nil, fmt.Errorf("cellgraph: empty chain request")
+	}
+	g := &Graph{}
+	zero := tensor.New(1, cell.Hidden())
+	for t := 0; t < steps; t++ {
+		n := &Node{
+			ID:   NodeID(t),
+			Cell: cell,
+			Inputs: map[string]Binding{
+				"x": Lit(tensor.SliceRows(xs, t, t+1)),
+			},
+		}
+		if t == 0 {
+			n.Inputs["h"] = Lit(zero)
+			n.Inputs["c"] = Lit(zero)
+		} else {
+			n.Inputs["h"] = Ref(NodeID(t-1), "h")
+			n.Inputs["c"] = Ref(NodeID(t-1), "c")
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	g.Results = []OutputSpec{{Name: "h", Node: NodeID(steps - 1), Output: "h"}}
+	return g, nil
+}
+
+// UnfoldRecurrent expands a chain request for any recurrent cell (a cell
+// whose non-"x" inputs are state carried from identically named outputs):
+// plain LSTM, GRU, or a stacked LSTM. States start at zero; the results are
+// the final node's states.
+func UnfoldRecurrent(cell rnn.Recurrent, xs *tensor.Tensor) (*Graph, error) {
+	if xs.Rank() != 2 || xs.Dim(1) != cell.XWidth() {
+		return nil, fmt.Errorf("cellgraph: chain inputs must be [len, %d], got %v", cell.XWidth(), xs.Shape())
+	}
+	steps := xs.Dim(0)
+	if steps == 0 {
+		return nil, fmt.Errorf("cellgraph: empty chain request")
+	}
+	states := cell.StateWidths()
+	zeros := make(map[string]*tensor.Tensor, len(states))
+	for name, w := range states {
+		zeros[name] = tensor.New(1, w)
+	}
+	g := &Graph{}
+	for t := 0; t < steps; t++ {
+		n := &Node{
+			ID:   NodeID(t),
+			Cell: cell,
+			Inputs: map[string]Binding{
+				"x": Lit(tensor.SliceRows(xs, t, t+1)),
+			},
+		}
+		for name := range states {
+			if t == 0 {
+				n.Inputs[name] = Lit(zeros[name])
+			} else {
+				n.Inputs[name] = Ref(NodeID(t-1), name)
+			}
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	last := NodeID(steps - 1)
+	for name := range states {
+		g.Results = append(g.Results, OutputSpec{Name: name, Node: last, Output: name})
+	}
+	return g, nil
+}
+
+// UnfoldChainIDs is UnfoldChain for id-based chains: one encoder-style cell
+// per input word id.
+func UnfoldChainIDs(cell *rnn.EncoderCell, ids []int) (*Graph, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cellgraph: empty chain request")
+	}
+	g := &Graph{}
+	zero := tensor.New(1, cell.Hidden())
+	for t, id := range ids {
+		if id < 0 || id >= cell.Vocab() {
+			return nil, fmt.Errorf("cellgraph: word id %d out of vocabulary [0,%d)", id, cell.Vocab())
+		}
+		n := &Node{
+			ID:   NodeID(t),
+			Cell: cell,
+			Inputs: map[string]Binding{
+				"ids": Lit(tensor.FromSlice([]float32{float32(id)}, 1, 1)),
+			},
+		}
+		if t == 0 {
+			n.Inputs["h"] = Lit(zero)
+			n.Inputs["c"] = Lit(zero)
+		} else {
+			n.Inputs["h"] = Ref(NodeID(t-1), "h")
+			n.Inputs["c"] = Ref(NodeID(t-1), "c")
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	g.Results = []OutputSpec{{Name: "h", Node: NodeID(len(ids) - 1), Output: "h"}}
+	return g, nil
+}
+
+// UnfoldSeq2Seq expands a translation request (the paper's Figure 12): an
+// encoder chain over the source ids followed by a feed-previous decoder
+// chain of decodeLen steps. The first decoder step consumes <go> and the
+// encoder's final state; subsequent steps consume the previous step's
+// emitted word. Results are the decoder outputs "word0".."word<n-1>".
+//
+// Deployed systems bound decoding length by input length plus a threshold;
+// the paper's evaluation fixes it to the reference translation length, and
+// callers here pass it explicitly the same way.
+func UnfoldSeq2Seq(enc *rnn.EncoderCell, dec *rnn.DecoderCell, srcIDs []int, decodeLen int) (*Graph, error) {
+	if len(srcIDs) == 0 {
+		return nil, fmt.Errorf("cellgraph: empty source sentence")
+	}
+	if decodeLen <= 0 {
+		return nil, fmt.Errorf("cellgraph: decode length must be positive, got %d", decodeLen)
+	}
+	if enc.Hidden() != dec.Hidden() {
+		return nil, fmt.Errorf("cellgraph: encoder hidden %d != decoder hidden %d", enc.Hidden(), dec.Hidden())
+	}
+	g := &Graph{}
+	zero := tensor.New(1, enc.Hidden())
+	for t, id := range srcIDs {
+		if id < 0 || id >= enc.Vocab() {
+			return nil, fmt.Errorf("cellgraph: source id %d out of vocabulary [0,%d)", id, enc.Vocab())
+		}
+		n := &Node{
+			ID:   NodeID(t),
+			Cell: enc,
+			Inputs: map[string]Binding{
+				"ids": Lit(tensor.FromSlice([]float32{float32(id)}, 1, 1)),
+			},
+		}
+		if t == 0 {
+			n.Inputs["h"] = Lit(zero)
+			n.Inputs["c"] = Lit(zero)
+		} else {
+			n.Inputs["h"] = Ref(NodeID(t-1), "h")
+			n.Inputs["c"] = Ref(NodeID(t-1), "c")
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	lastEnc := NodeID(len(srcIDs) - 1)
+	goRow := tensor.FromSlice([]float32{float32(rnn.TokenGo)}, 1, 1)
+	for t := 0; t < decodeLen; t++ {
+		id := NodeID(len(srcIDs) + t)
+		n := &Node{ID: id, Cell: dec, Inputs: map[string]Binding{}}
+		if t == 0 {
+			n.Inputs["ids"] = Lit(goRow)
+			n.Inputs["h"] = Ref(lastEnc, "h")
+			n.Inputs["c"] = Ref(lastEnc, "c")
+		} else {
+			n.Inputs["ids"] = Ref(id-1, "word")
+			n.Inputs["h"] = Ref(id-1, "h")
+			n.Inputs["c"] = Ref(id-1, "c")
+		}
+		g.Nodes = append(g.Nodes, n)
+		g.Results = append(g.Results, OutputSpec{
+			Name:   fmt.Sprintf("word%d", t),
+			Node:   id,
+			Output: "word",
+		})
+	}
+	return g, nil
+}
+
+// Tree is a binary parse tree whose leaves carry word ids (the paper's
+// Figure 2 input structure). Internal nodes have exactly two children.
+type Tree struct {
+	WordID      int // valid at leaves
+	Left, Right *Tree
+}
+
+// IsLeaf reports whether t has no children.
+func (t *Tree) IsLeaf() bool { return t.Left == nil && t.Right == nil }
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	return t.Left.Leaves() + t.Right.Leaves()
+}
+
+// Depth returns the longest root-to-leaf path length in nodes.
+func (t *Tree) Depth() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	l, r := t.Left.Depth(), t.Right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Nodes returns the total node count.
+func (t *Tree) Nodes() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	return 1 + t.Left.Nodes() + t.Right.Nodes()
+}
+
+// Validate checks that every node has zero or two children and leaf ids are
+// within [0, vocab).
+func (t *Tree) Validate(vocab int) error {
+	if t.IsLeaf() {
+		if t.WordID < 0 || t.WordID >= vocab {
+			return fmt.Errorf("cellgraph: leaf word id %d out of vocabulary [0,%d)", t.WordID, vocab)
+		}
+		return nil
+	}
+	if t.Left == nil || t.Right == nil {
+		return fmt.Errorf("cellgraph: tree node must have zero or two children")
+	}
+	if err := t.Left.Validate(vocab); err != nil {
+		return err
+	}
+	return t.Right.Validate(vocab)
+}
+
+// UnfoldTree expands a TreeLSTM request: one leaf cell per leaf, one
+// internal cell per internal node, with child states flowing upward
+// (Figure 2). The result is the root's hidden state, named "h".
+func UnfoldTree(leaf *rnn.TreeLeafCell, internal *rnn.TreeInternalCell, tree *Tree) (*Graph, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("cellgraph: nil tree")
+	}
+	if err := tree.Validate(leaf.Vocab()); err != nil {
+		return nil, err
+	}
+	g := &Graph{}
+	root, err := unfoldTreeNode(g, leaf, internal, tree)
+	if err != nil {
+		return nil, err
+	}
+	g.Results = []OutputSpec{{Name: "h", Node: root, Output: "h"}}
+	return g, nil
+}
+
+func unfoldTreeNode(g *Graph, leaf *rnn.TreeLeafCell, internal *rnn.TreeInternalCell, t *Tree) (NodeID, error) {
+	if t.IsLeaf() {
+		id := NodeID(len(g.Nodes))
+		g.Nodes = append(g.Nodes, &Node{
+			ID:   id,
+			Cell: leaf,
+			Inputs: map[string]Binding{
+				"ids": Lit(tensor.FromSlice([]float32{float32(t.WordID)}, 1, 1)),
+			},
+		})
+		return id, nil
+	}
+	l, err := unfoldTreeNode(g, leaf, internal, t.Left)
+	if err != nil {
+		return 0, err
+	}
+	r, err := unfoldTreeNode(g, leaf, internal, t.Right)
+	if err != nil {
+		return 0, err
+	}
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, &Node{
+		ID:   id,
+		Cell: internal,
+		Inputs: map[string]Binding{
+			"hl": Ref(l, "h"),
+			"cl": Ref(l, "c"),
+			"hr": Ref(r, "h"),
+			"cr": Ref(r, "c"),
+		},
+	})
+	return id, nil
+}
+
+// CompleteBinaryTree builds a complete binary tree with the given number of
+// leaves (must be a power of two), used by the Figure 15 fixed-structure
+// experiment. Leaf word ids cycle through [0, vocab).
+func CompleteBinaryTree(leaves, vocab int) (*Tree, error) {
+	if leaves <= 0 || leaves&(leaves-1) != 0 {
+		return nil, fmt.Errorf("cellgraph: complete tree needs a power-of-two leaf count, got %d", leaves)
+	}
+	counter := 0
+	var build func(n int) *Tree
+	build = func(n int) *Tree {
+		if n == 1 {
+			t := &Tree{WordID: counter % vocab}
+			counter++
+			return t
+		}
+		return &Tree{Left: build(n / 2), Right: build(n / 2)}
+	}
+	return build(leaves), nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"batchmaker/internal/cellgraph"
+)
+
+// Microbenchmarks for the scheduler hot path: how fast Algorithm 1 can
+// assemble batched tasks. The paper's manager runs on the CPU next to
+// V100-class GPUs, so a Schedule round must cost far less than a kernel
+// (~hundreds of microseconds).
+
+func benchScheduler(b *testing.B, nRequests, chainLen, maxBatch int) {
+	cell := newFakeCell("A")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := NewScheduler(Config{Types: []TypeConfig{{Key: "A", MaxBatch: maxBatch}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		trackers := make([]*Tracker, nRequests)
+		for r := 0; r < nRequests; r++ {
+			tr, err := NewTracker(RequestID(r+1), fakeChain(cell, chainLen))
+			if err != nil {
+				b.Fatal(err)
+			}
+			trackers[r] = tr
+			for _, spec := range tr.InitialSubgraphs() {
+				if _, err := s.AddSubgraph(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StartTimer()
+		// Drain the whole workload through Schedule/TaskCompleted.
+		for s.TotalReady() > 0 || s.InflightTasks() > 0 {
+			tasks := s.Schedule(0)
+			if len(tasks) == 0 {
+				b.Fatal("scheduler stalled")
+			}
+			for _, task := range tasks {
+				if err := s.TaskCompleted(task.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSchedulerDrain_256x24 drains 256 length-24 chains (one saturated
+// LSTM round at batch 512 granularity).
+func BenchmarkSchedulerDrain_256x24(b *testing.B) {
+	benchScheduler(b, 256, 24, 512)
+}
+
+// BenchmarkSchedulerDrain_1024x24 drains 1024 chains — a deep backlog.
+func BenchmarkSchedulerDrain_1024x24(b *testing.B) {
+	benchScheduler(b, 1024, 24, 512)
+}
+
+// BenchmarkSchedulerDrain_SmallBatches uses batch 16 to stress task-
+// formation frequency.
+func BenchmarkSchedulerDrain_SmallBatches(b *testing.B) {
+	benchScheduler(b, 128, 24, 16)
+}
+
+// BenchmarkTrackerUnfoldTree measures request-processor admission cost for
+// tree requests (partitioning + spec construction).
+func BenchmarkTrackerUnfoldTree(b *testing.B) {
+	leaf, internal := newFakeCell("L"), newFakeInternalCell("I")
+	g := fakeTree(leaf, internal, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := NewTracker(1, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if specs := tr.InitialSubgraphs(); len(specs) != 16 {
+			b.Fatalf("specs = %d", len(specs))
+		}
+	}
+}
+
+// BenchmarkSchedulePerTask isolates one Schedule call against a standing
+// backlog of ready work.
+func BenchmarkSchedulePerTask(b *testing.B) {
+	cell := newFakeCell("A")
+	s, err := NewScheduler(Config{
+		Types:            []TypeConfig{{Key: "A", MaxBatch: 512}},
+		MaxTasksToSubmit: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nextReq := RequestID(0)
+	refill := func() {
+		for r := 0; r < 1024; r++ {
+			nextReq++
+			tr, err := NewTracker(nextReq, fakeChain(cell, 64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, spec := range tr.InitialSubgraphs() {
+				if _, err := s.AddSubgraph(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	refill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.TotalReady() < 512 {
+			b.StopTimer()
+			refill()
+			b.StartTimer()
+		}
+		tasks := s.Schedule(0)
+		if len(tasks) != 1 {
+			b.Fatalf("tasks = %d", len(tasks))
+		}
+		if err := s.TaskCompleted(tasks[0].ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink *cellgraph.Graph
+
+// BenchmarkFakeChainConstruction baselines graph-building cost itself.
+func BenchmarkFakeChainConstruction(b *testing.B) {
+	cell := newFakeCell("A")
+	for i := 0; i < b.N; i++ {
+		benchSink = fakeChain(cell, 24)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/tensor"
+)
+
+// fakeCell is a tensor-free stand-in cell for scheduler tests: only its
+// TypeKey and input/output names matter. Step produces zero rows so the
+// graphs remain executable if a test wants to run them.
+type fakeCell struct {
+	name string
+	key  string
+	ins  []string
+	outs []string
+}
+
+func (f *fakeCell) Name() string          { return f.name }
+func (f *fakeCell) TypeKey() string       { return f.key }
+func (f *fakeCell) InputNames() []string  { return f.ins }
+func (f *fakeCell) OutputNames() []string { return f.outs }
+
+func (f *fakeCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	b := -1
+	for _, t := range inputs {
+		b = t.Dim(0)
+		break
+	}
+	if b < 0 {
+		return nil, fmt.Errorf("fake cell %s: no inputs", f.name)
+	}
+	out := make(map[string]*tensor.Tensor, len(f.outs))
+	for _, o := range f.outs {
+		out[o] = tensor.New(b, 1)
+	}
+	return out, nil
+}
+
+var _ rnn.Cell = (*fakeCell)(nil)
+
+func newFakeCell(key string) *fakeCell {
+	return &fakeCell{name: key, key: key, ins: []string{"x", "h"}, outs: []string{"h"}}
+}
+
+// fakeChain unfolds a chain of n nodes of the given cell.
+func fakeChain(cell *fakeCell, n int) *cellgraph.Graph {
+	g := &cellgraph.Graph{}
+	row := tensor.New(1, 1)
+	for t := 0; t < n; t++ {
+		node := &cellgraph.Node{
+			ID:   cellgraph.NodeID(t),
+			Cell: cell,
+			Inputs: map[string]cellgraph.Binding{
+				"x": cellgraph.Lit(row),
+			},
+		}
+		if t == 0 {
+			node.Inputs["h"] = cellgraph.Lit(row)
+		} else {
+			node.Inputs["h"] = cellgraph.Ref(cellgraph.NodeID(t-1), "h")
+		}
+		g.Nodes = append(g.Nodes, node)
+	}
+	g.Results = []cellgraph.OutputSpec{{Name: "h", Node: cellgraph.NodeID(n - 1), Output: "h"}}
+	return g
+}
+
+// fakeTwoPhase unfolds nA nodes of cellA followed by nB nodes of cellB, with
+// the first B node depending on the last A node (a Seq2Seq-shaped graph).
+func fakeTwoPhase(cellA, cellB *fakeCell, nA, nB int) *cellgraph.Graph {
+	g := fakeChain(cellA, nA)
+	row := tensor.New(1, 1)
+	for t := 0; t < nB; t++ {
+		id := cellgraph.NodeID(nA + t)
+		node := &cellgraph.Node{
+			ID:   id,
+			Cell: cellB,
+			Inputs: map[string]cellgraph.Binding{
+				"x": cellgraph.Lit(row),
+				"h": cellgraph.Ref(id-1, "h"),
+			},
+		}
+		g.Nodes = append(g.Nodes, node)
+	}
+	g.Results = []cellgraph.OutputSpec{{Name: "h", Node: cellgraph.NodeID(nA + nB - 1), Output: "h"}}
+	return g
+}
+
+// fakeTree builds a complete binary tree with the given leaf count: leaves
+// use leafCell, internal nodes use internalCell (inputs "hl","hr").
+func fakeTree(leafCell, internalCell *fakeCell, leaves int) *cellgraph.Graph {
+	g := &cellgraph.Graph{}
+	row := tensor.New(1, 1)
+	var build func(n int) cellgraph.NodeID
+	build = func(n int) cellgraph.NodeID {
+		if n == 1 {
+			id := cellgraph.NodeID(len(g.Nodes))
+			g.Nodes = append(g.Nodes, &cellgraph.Node{
+				ID:   id,
+				Cell: leafCell,
+				Inputs: map[string]cellgraph.Binding{
+					"x": cellgraph.Lit(row), "h": cellgraph.Lit(row),
+				},
+			})
+			return id
+		}
+		l := build(n / 2)
+		r := build(n - n/2)
+		id := cellgraph.NodeID(len(g.Nodes))
+		g.Nodes = append(g.Nodes, &cellgraph.Node{
+			ID:   id,
+			Cell: internalCell,
+			Inputs: map[string]cellgraph.Binding{
+				"hl": cellgraph.Ref(l, "h"), "hr": cellgraph.Ref(r, "h"),
+			},
+		})
+		return id
+	}
+	root := build(leaves)
+	g.Results = []cellgraph.OutputSpec{{Name: "h", Node: root, Output: "h"}}
+	return g
+}
+
+func newFakeInternalCell(key string) *fakeCell {
+	return &fakeCell{name: key, key: key, ins: []string{"hl", "hr"}, outs: []string{"h"}}
+}

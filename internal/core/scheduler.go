@@ -1,0 +1,446 @@
+// Package core implements cellular batching — the paper's primary
+// contribution. It contains the batching and scheduling algorithm
+// (Algorithm 1, §4.3) that dynamically assembles batched tasks out of ready
+// cell nodes from any mix of requests, lets newly arrived requests join the
+// ongoing execution of existing ones, and returns each request as soon as
+// its last cell finishes.
+//
+// The Scheduler is deliberately time-free and engine-agnostic: the
+// discrete-event simulator (internal/sim) and the live serving system
+// (internal/server) both drive the same scheduling logic, calling
+// Schedule(worker) whenever a worker has capacity and TaskCompleted when the
+// worker reports a finished task.
+//
+// Concurrency: the Scheduler is NOT internally synchronized. The simulator
+// is single-threaded; the live server serializes access with its own mutex.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"batchmaker/internal/cellgraph"
+)
+
+// RequestID identifies a request across the serving system.
+type RequestID int64
+
+// WorkerID identifies one GPU worker.
+type WorkerID int
+
+// NoWorker is the "unpinned" sentinel.
+const NoWorker WorkerID = -1
+
+// SubgraphID identifies a subgraph instance registered with the scheduler.
+type SubgraphID int64
+
+// TaskID identifies a batched task.
+type TaskID int64
+
+// NodeRef names one cell node of one request.
+type NodeRef struct {
+	Req  RequestID
+	Node cellgraph.NodeID
+}
+
+// TypeConfig configures one cell type for scheduling.
+type TypeConfig struct {
+	// Key is the cell type identity (rnn.Cell.TypeKey()).
+	Key string
+	// Priority orders cell types: higher runs first. The paper gives types
+	// that occur later in the computation graph higher priority (decoders
+	// over encoders, internal cells over leaf cells) for better latency.
+	Priority int
+	// MaxBatch is the desired maximum batch size for this type, determined
+	// through offline benchmarking (e.g. 512 for LSTM/encoder cells, 256
+	// for decoder cells on the paper's V100).
+	MaxBatch int
+	// MinBatch is the smallest batch worth submitting as a non-first task
+	// of a scheduling round (Bsizes.Min() in Algorithm 1). Zero means 1.
+	MinBatch int
+}
+
+// Config configures the scheduler.
+type Config struct {
+	// Types lists every cell type that may appear. Unknown types are
+	// rejected by AddSubgraph.
+	Types []TypeConfig
+	// MaxTasksToSubmit bounds how many tasks one Schedule call may hand to
+	// a worker (default 5, §4.3): small enough that other cell types get a
+	// chance and new requests can join, large enough to keep the GPU busy.
+	MaxTasksToSubmit int
+}
+
+// SubgraphSpec describes a subgraph being handed to the scheduler: a set of
+// same-type nodes of one request whose external dependencies are all
+// satisfied (§4.3). Deps lists intra-subgraph dependencies only.
+type SubgraphSpec struct {
+	Req     RequestID
+	TypeKey string
+	Nodes   []cellgraph.NodeID
+	// Deps maps a node to the subset of its dependencies that are inside
+	// this subgraph. Nodes absent from Deps (or with empty lists) are ready
+	// immediately.
+	Deps map[cellgraph.NodeID][]cellgraph.NodeID
+}
+
+// Task is a batched cell invocation assembled by the scheduler: up to
+// MaxBatch ready nodes of one cell type, possibly drawn from many requests
+// and many subgraphs, destined for one worker.
+type Task struct {
+	ID      TaskID
+	TypeKey string
+	Worker  WorkerID
+	Nodes   []NodeRef
+	// subgraphs holds the distinct subgraphs contributing nodes, for
+	// pin/unpin bookkeeping at completion time.
+	subgraphs []*subgraph
+}
+
+// BatchSize returns the number of nodes batched in the task.
+func (t *Task) BatchSize() int { return len(t.Nodes) }
+
+type subgraph struct {
+	id      SubgraphID
+	req     RequestID
+	typeKey string
+
+	// ready holds schedule-ready, not-yet-issued nodes in ascending node
+	// order (for chains this is sequence order).
+	ready []cellgraph.NodeID
+	// pendingDeps counts unsubmitted intra-subgraph dependencies per node.
+	pendingDeps map[cellgraph.NodeID]int
+	// dependents is the reverse intra-subgraph edge list.
+	dependents map[cellgraph.NodeID][]cellgraph.NodeID
+
+	unissued int // nodes not yet placed into any task
+	inflight int // tasks containing this subgraph still running
+	pinned   WorkerID
+
+	// pendingTake is a scratch field written by formBatchedTask and
+	// consumed by updateNodesDependency for the same candidate task. A
+	// stale value (from a candidate that was rejected for being under
+	// MinBatch) is always overwritten before its next use.
+	pendingTake int
+}
+
+type cellType struct {
+	cfg TypeConfig
+	// queue of live subgraphs in admission order (FIFO: oldest requests
+	// batch first).
+	queue []*subgraph
+	// readyNodes is the cached count of schedule-ready nodes across the
+	// queue, maintained incrementally.
+	readyNodes int
+	// runningTasks counts in-flight tasks of this type.
+	runningTasks int
+}
+
+// Scheduler implements Algorithm 1.
+type Scheduler struct {
+	cfg        Config
+	types      map[string]*cellType
+	typeOrder  []string // deterministic iteration order
+	nextSub    SubgraphID
+	nextTask   TaskID
+	liveByID   map[SubgraphID]*subgraph
+	inflight   map[TaskID]*Task
+	totalReady int
+}
+
+// NewScheduler validates cfg and builds a scheduler.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	if cfg.MaxTasksToSubmit <= 0 {
+		cfg.MaxTasksToSubmit = 5
+	}
+	if len(cfg.Types) == 0 {
+		return nil, fmt.Errorf("core: no cell types configured")
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		types:    make(map[string]*cellType, len(cfg.Types)),
+		liveByID: make(map[SubgraphID]*subgraph),
+		inflight: make(map[TaskID]*Task),
+	}
+	for _, tc := range cfg.Types {
+		if tc.Key == "" {
+			return nil, fmt.Errorf("core: cell type with empty key")
+		}
+		if tc.MaxBatch <= 0 {
+			return nil, fmt.Errorf("core: cell type %q must have positive MaxBatch", tc.Key)
+		}
+		if tc.MinBatch <= 0 {
+			tc.MinBatch = 1
+		}
+		if tc.MinBatch > tc.MaxBatch {
+			return nil, fmt.Errorf("core: cell type %q MinBatch %d > MaxBatch %d", tc.Key, tc.MinBatch, tc.MaxBatch)
+		}
+		if _, dup := s.types[tc.Key]; dup {
+			return nil, fmt.Errorf("core: duplicate cell type %q", tc.Key)
+		}
+		s.types[tc.Key] = &cellType{cfg: tc}
+		s.typeOrder = append(s.typeOrder, tc.Key)
+	}
+	sort.Strings(s.typeOrder)
+	return s, nil
+}
+
+// AddSubgraph registers a subgraph whose external dependencies are satisfied,
+// making its dependency-free nodes immediately available for batching. It
+// returns the subgraph's ID.
+func (s *Scheduler) AddSubgraph(spec SubgraphSpec) (SubgraphID, error) {
+	ct, ok := s.types[spec.TypeKey]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown cell type %q", spec.TypeKey)
+	}
+	if len(spec.Nodes) == 0 {
+		return 0, fmt.Errorf("core: empty subgraph for request %d", spec.Req)
+	}
+	sg := &subgraph{
+		id:          s.nextSub,
+		req:         spec.Req,
+		typeKey:     spec.TypeKey,
+		pendingDeps: make(map[cellgraph.NodeID]int, len(spec.Deps)),
+		dependents:  make(map[cellgraph.NodeID][]cellgraph.NodeID),
+		unissued:    len(spec.Nodes),
+		pinned:      NoWorker,
+	}
+	s.nextSub++
+	member := make(map[cellgraph.NodeID]bool, len(spec.Nodes))
+	for _, n := range spec.Nodes {
+		member[n] = true
+	}
+	for n, deps := range spec.Deps {
+		if !member[n] {
+			return 0, fmt.Errorf("core: dep entry for node %d outside subgraph", n)
+		}
+		cnt := 0
+		for _, d := range deps {
+			if !member[d] {
+				return 0, fmt.Errorf("core: node %d lists external dep %d as internal", n, d)
+			}
+			sg.dependents[d] = append(sg.dependents[d], n)
+			cnt++
+		}
+		if cnt > 0 {
+			sg.pendingDeps[n] = cnt
+		}
+	}
+	// Ready set: nodes with no intra-subgraph deps, ascending order.
+	nodes := append([]cellgraph.NodeID(nil), spec.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		if sg.pendingDeps[n] == 0 {
+			sg.ready = append(sg.ready, n)
+		}
+	}
+	if len(sg.ready) == 0 {
+		return 0, fmt.Errorf("core: subgraph for request %d has no initially ready node (internal cycle?)", spec.Req)
+	}
+	ct.queue = append(ct.queue, sg)
+	ct.readyNodes += len(sg.ready)
+	s.totalReady += len(sg.ready)
+	s.liveByID[sg.id] = sg
+	return sg.id, nil
+}
+
+// Schedule implements Algorithm 1's Schedule function: pick a cell type for
+// the (idle) worker and form up to MaxTasksToSubmit batched tasks for it.
+// It returns nil when no ready work exists or none is compatible with the
+// worker's pins.
+func (s *Scheduler) Schedule(worker WorkerID) []*Task {
+	// (a) types with at least a full batch of ready nodes;
+	// (b) otherwise, types with ready nodes and no running tasks;
+	// (c) otherwise, types with any ready nodes.
+	var candidates []*cellType
+	for _, key := range s.typeOrder {
+		ct := s.types[key]
+		if ct.readyNodes >= ct.cfg.MaxBatch {
+			candidates = append(candidates, ct)
+		}
+	}
+	if len(candidates) == 0 {
+		for _, key := range s.typeOrder {
+			ct := s.types[key]
+			if ct.runningTasks == 0 && ct.readyNodes > 0 {
+				candidates = append(candidates, ct)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		for _, key := range s.typeOrder {
+			ct := s.types[key]
+			if ct.readyNodes > 0 {
+				candidates = append(candidates, ct)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	best := candidates[0]
+	for _, ct := range candidates[1:] {
+		if ct.cfg.Priority > best.cfg.Priority {
+			best = ct
+		}
+	}
+	return s.batch(best, worker)
+}
+
+// batch implements Algorithm 1's Batch function.
+func (s *Scheduler) batch(ct *cellType, worker WorkerID) []*Task {
+	var tasks []*Task
+	for len(tasks) < s.cfg.MaxTasksToSubmit {
+		nodes, subs := s.formBatchedTask(ct, worker)
+		if len(nodes) == 0 {
+			break
+		}
+		if len(nodes) < ct.cfg.MinBatch && len(tasks) > 0 {
+			break
+		}
+		task := &Task{
+			ID:        s.nextTask,
+			TypeKey:   ct.cfg.Key,
+			Worker:    worker,
+			Nodes:     nodes,
+			subgraphs: subs,
+		}
+		s.nextTask++
+		// Submit: mark nodes issued, update intra-subgraph dependencies so
+		// successors become schedule-ready (safe because tasks pushed to
+		// one worker execute in FIFO order), and pin subgraphs.
+		for _, sg := range subs {
+			sg.inflight++
+			sg.pinned = worker
+		}
+		s.updateNodesDependency(ct, task)
+		ct.runningTasks++
+		s.inflight[task.ID] = task
+		tasks = append(tasks, task)
+	}
+	return tasks
+}
+
+// formBatchedTask implements Algorithm 1's FormBatchedTask: scan the type's
+// subgraph queue, taking ready nodes from subgraphs that are unpinned or
+// pinned to this worker, until the batch is full.
+func (s *Scheduler) formBatchedTask(ct *cellType, worker WorkerID) ([]NodeRef, []*subgraph) {
+	var nodes []NodeRef
+	var subs []*subgraph
+	for _, sg := range ct.queue {
+		if sg.pinned != NoWorker && sg.pinned != worker {
+			continue
+		}
+		if len(sg.ready) == 0 {
+			continue
+		}
+		take := len(sg.ready)
+		if room := ct.cfg.MaxBatch - len(nodes); take > room {
+			take = room
+		}
+		for _, n := range sg.ready[:take] {
+			nodes = append(nodes, NodeRef{Req: sg.req, Node: n})
+		}
+		subs = append(subs, sg)
+		sg.pendingTake = take
+		if len(nodes) == ct.cfg.MaxBatch {
+			break
+		}
+	}
+	// Nothing is consumed here: ready lists shrink only when the caller
+	// accepts the candidate and runs updateNodesDependency. Rejecting a
+	// candidate (under MinBatch with tasks already formed) therefore needs
+	// no rollback.
+	return nodes, subs
+}
+
+// updateNodesDependency implements Algorithm 1's UpdateNodesDependency: for
+// every node placed in the task, consume it from its subgraph's ready list
+// and release intra-subgraph successors.
+func (s *Scheduler) updateNodesDependency(ct *cellType, task *Task) {
+	for _, sg := range task.subgraphs {
+		take := sg.pendingTake
+		sg.pendingTake = 0
+		taken := sg.ready[:take]
+		sg.ready = append([]cellgraph.NodeID(nil), sg.ready[take:]...)
+		ct.readyNodes -= take
+		s.totalReady -= take
+		sg.unissued -= take
+		newReady := 0
+		for _, n := range taken {
+			for _, dep := range sg.dependents[n] {
+				sg.pendingDeps[dep]--
+				if sg.pendingDeps[dep] == 0 {
+					sg.ready = append(sg.ready, dep)
+					newReady++
+				}
+			}
+		}
+		if newReady > 0 {
+			sort.Slice(sg.ready, func(i, j int) bool { return sg.ready[i] < sg.ready[j] })
+			ct.readyNodes += newReady
+			s.totalReady += newReady
+		}
+	}
+}
+
+// TaskCompleted must be called by the engine when a worker finishes a task.
+// It decrements in-flight counters and unpins subgraphs that no longer have
+// running tasks; fully drained subgraphs are retired from their queues.
+func (s *Scheduler) TaskCompleted(id TaskID) error {
+	task, ok := s.inflight[id]
+	if !ok {
+		return fmt.Errorf("core: completion for unknown task %d", id)
+	}
+	delete(s.inflight, id)
+	ct := s.types[task.TypeKey]
+	ct.runningTasks--
+	retire := false
+	for _, sg := range task.subgraphs {
+		sg.inflight--
+		if sg.inflight == 0 {
+			sg.pinned = NoWorker
+			if sg.unissued == 0 {
+				delete(s.liveByID, sg.id)
+				retire = true
+			}
+		}
+	}
+	if retire {
+		live := ct.queue[:0]
+		for _, sg := range ct.queue {
+			if sg.unissued > 0 || sg.inflight > 0 {
+				live = append(live, sg)
+			}
+		}
+		ct.queue = live
+	}
+	return nil
+}
+
+// ReadyNodes returns the number of schedule-ready nodes for a cell type
+// (0 for unknown types).
+func (s *Scheduler) ReadyNodes(typeKey string) int {
+	if ct, ok := s.types[typeKey]; ok {
+		return ct.readyNodes
+	}
+	return 0
+}
+
+// RunningTasks returns the in-flight task count for a cell type.
+func (s *Scheduler) RunningTasks(typeKey string) int {
+	if ct, ok := s.types[typeKey]; ok {
+		return ct.runningTasks
+	}
+	return 0
+}
+
+// TotalReady returns the number of schedule-ready nodes across all types.
+func (s *Scheduler) TotalReady() int { return s.totalReady }
+
+// LiveSubgraphs returns how many subgraphs are registered and not yet
+// retired.
+func (s *Scheduler) LiveSubgraphs() int { return len(s.liveByID) }
+
+// InflightTasks returns the number of submitted-but-uncompleted tasks.
+func (s *Scheduler) InflightTasks() int { return len(s.inflight) }

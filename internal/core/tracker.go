@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"batchmaker/internal/cellgraph"
+)
+
+// Tracker is the request processor's per-request dependency bookkeeping
+// (§4.2): it partitions a request's cell graph into same-type subgraphs and
+// releases each subgraph to the scheduler once all of the subgraph's
+// external dependencies have completed (§4.3). The Tracker is tensor-free so
+// the discrete-event simulator can drive millions of cells cheaply; the live
+// server pairs it with a cellgraph.State that holds the actual data.
+type Tracker struct {
+	req        RequestID
+	graph      *cellgraph.Graph
+	subs       []*cellgraph.Subgraph
+	subOf      []int // node -> subgraph index
+	extPending []int // subgraph index -> unmet external deps
+	released   []bool
+	done       []bool
+	remaining  int
+}
+
+// NewTracker partitions the request's graph and prepares release tracking.
+func NewTracker(req RequestID, g *cellgraph.Graph) (*Tracker, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	subs := cellgraph.Partition(g)
+	t := &Tracker{
+		req:        req,
+		graph:      g,
+		subs:       subs,
+		subOf:      make([]int, len(g.Nodes)),
+		extPending: make([]int, len(subs)),
+		released:   make([]bool, len(subs)),
+		done:       make([]bool, len(g.Nodes)),
+		remaining:  len(g.Nodes),
+	}
+	for i, sub := range subs {
+		for _, n := range sub.Nodes {
+			t.subOf[n] = i
+		}
+		t.extPending[i] = len(sub.ExternalDeps)
+	}
+	return t, nil
+}
+
+// Req returns the request ID.
+func (t *Tracker) Req() RequestID { return t.req }
+
+// Graph returns the request's cell graph.
+func (t *Tracker) Graph() *cellgraph.Graph { return t.graph }
+
+// NumSubgraphs returns the partition size.
+func (t *Tracker) NumSubgraphs() int { return len(t.subs) }
+
+// InitialSubgraphs returns the specs of subgraphs with no external
+// dependencies — releasable the moment the request is admitted. Each spec is
+// returned at most once across InitialSubgraphs/NodeDone.
+func (t *Tracker) InitialSubgraphs() []SubgraphSpec {
+	var out []SubgraphSpec
+	for i := range t.subs {
+		if !t.released[i] && t.extPending[i] == 0 {
+			t.released[i] = true
+			out = append(out, t.spec(i))
+		}
+	}
+	return out
+}
+
+// NodeDone records the actual completion of a node and returns the specs of
+// subgraphs whose external dependencies just became fully satisfied.
+func (t *Tracker) NodeDone(n cellgraph.NodeID) ([]SubgraphSpec, error) {
+	if int(n) < 0 || int(n) >= len(t.done) {
+		return nil, fmt.Errorf("core: tracker: unknown node %d", n)
+	}
+	if t.done[n] {
+		return nil, fmt.Errorf("core: tracker: node %d completed twice", n)
+	}
+	t.done[n] = true
+	t.remaining--
+	var out []SubgraphSpec
+	// A node's completion can release any subgraph listing it as an
+	// external dependency.
+	for i, sub := range t.subs {
+		if t.released[i] {
+			continue
+		}
+		for _, d := range sub.ExternalDeps {
+			if d == n {
+				t.extPending[i]--
+				if t.extPending[i] == 0 {
+					t.released[i] = true
+					out = append(out, t.spec(i))
+				}
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Finished reports whether every node of the request has completed — the
+// moment the request departs and its result returns to the user.
+func (t *Tracker) Finished() bool { return t.remaining == 0 }
+
+// Remaining returns the number of uncompleted nodes.
+func (t *Tracker) Remaining() int { return t.remaining }
+
+func (t *Tracker) spec(i int) SubgraphSpec {
+	sub := t.subs[i]
+	member := make(map[cellgraph.NodeID]bool, len(sub.Nodes))
+	for _, n := range sub.Nodes {
+		member[n] = true
+	}
+	deps := make(map[cellgraph.NodeID][]cellgraph.NodeID)
+	for _, n := range sub.Nodes {
+		for _, d := range t.graph.Nodes[n].Deps() {
+			if member[d] {
+				deps[n] = append(deps[n], d)
+			}
+		}
+	}
+	return SubgraphSpec{
+		Req:     t.req,
+		TypeKey: sub.TypeKey,
+		Nodes:   append([]cellgraph.NodeID(nil), sub.Nodes...),
+		Deps:    deps,
+	}
+}

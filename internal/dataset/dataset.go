@@ -1,0 +1,311 @@
+// Package dataset synthesizes the workloads of the paper's evaluation.
+//
+// The paper samples requests from WMT-15 Europarl (100k English sentences /
+// German-English pairs; average length 24, maximum 330, ~99% under 100 —
+// Figure 10) and from the Stanford TreeBank (10k binary parse trees). Those
+// corpora are not vendored here; instead this package generates synthetic
+// datasets with matching statistics, which is all the scheduling experiments
+// depend on (see DESIGN.md "Substitutions"). All generators are
+// deterministic given a seed.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/tensor"
+)
+
+// WMTMaxLen is the maximum sentence length in the paper's WMT-15 sample.
+const WMTMaxLen = 330
+
+// WMTMeanLen is the average sentence length in the paper's WMT-15 sample.
+const WMTMeanLen = 24
+
+// LengthSampler draws sentence lengths.
+type LengthSampler interface {
+	// Sample returns a sentence length >= 1.
+	Sample() int
+}
+
+// WMTLengths samples sentence lengths matching the paper's Figure 10 CDF:
+// lognormal-shaped with mean ≈ 24, ~99% of mass below 100, hard-clipped at
+// 330. Parameters were fit so the synthetic CDF matches the three anchors
+// the paper reports.
+type WMTLengths struct {
+	rng *tensor.RNG
+	// mu/sigma are the underlying normal parameters of the lognormal.
+	mu, sigma float64
+	clip      int
+}
+
+// NewWMTLengths returns a sampler seeded deterministically.
+//
+// For a lognormal, mean = exp(mu + sigma^2/2) and
+// P(X < 100) = Phi((ln 100 - mu)/sigma). With sigma = 0.68 and
+// mu = ln(24) - sigma^2/2 ≈ 2.947, the mean is 24 and
+// (ln 100 - mu)/sigma ≈ 2.44 → ~99.3% below 100, matching Figure 10, with
+// a thin deep tail (P(>150) ≈ 0.1%, P(>200) ≈ 0.02%).
+func NewWMTLengths(seed uint64) *WMTLengths {
+	sigma := 0.68
+	mu := math.Log(WMTMeanLen) - sigma*sigma/2
+	return &WMTLengths{rng: tensor.NewRNG(seed), mu: mu, sigma: sigma, clip: WMTMaxLen}
+}
+
+// Sample implements LengthSampler.
+func (w *WMTLengths) Sample() int {
+	v := math.Exp(w.mu + w.sigma*w.rng.NormFloat64())
+	n := int(math.Round(v))
+	if n < 1 {
+		n = 1
+	}
+	if n > w.clip {
+		n = w.clip
+	}
+	return n
+}
+
+// ClippedLengths wraps a sampler and clips lengths at max, producing the
+// paper's Figure 11 variants (max 50, max 100).
+type ClippedLengths struct {
+	Inner LengthSampler
+	Max   int
+}
+
+// Sample implements LengthSampler.
+func (c *ClippedLengths) Sample() int {
+	n := c.Inner.Sample()
+	if n > c.Max {
+		n = c.Max
+	}
+	return n
+}
+
+// FixedLengths always returns N — the paper's fixed-length-24 artificial
+// dataset (Figure 11 top).
+type FixedLengths struct{ N int }
+
+// Sample implements LengthSampler.
+func (f FixedLengths) Sample() int { return f.N }
+
+// UniformLengths samples uniformly from [Min, Max]; used by ablations.
+type UniformLengths struct {
+	rng      *tensor.RNG
+	Min, Max int
+}
+
+// NewUniformLengths returns a uniform sampler.
+func NewUniformLengths(seed uint64, min, max int) *UniformLengths {
+	if min < 1 || max < min {
+		panic(fmt.Sprintf("dataset: bad uniform range [%d,%d]", min, max))
+	}
+	return &UniformLengths{rng: tensor.NewRNG(seed), Min: min, Max: max}
+}
+
+// Sample implements LengthSampler.
+func (u *UniformLengths) Sample() int {
+	return u.Min + u.rng.Intn(u.Max-u.Min+1)
+}
+
+// PairSampler draws (source length, target length) pairs for Seq2Seq. The
+// target length correlates with the source (translations have similar
+// lengths), matching the German→English pairs the paper samples.
+type PairSampler struct {
+	src *WMTLengths
+	rng *tensor.RNG
+}
+
+// NewPairSampler returns a deterministic pair sampler.
+func NewPairSampler(seed uint64) *PairSampler {
+	return &PairSampler{src: NewWMTLengths(seed), rng: tensor.NewRNG(seed ^ 0xBEEF)}
+}
+
+// Sample returns correlated (srcLen, dstLen).
+func (p *PairSampler) Sample() (src, dst int) {
+	src = p.src.Sample()
+	// Target length: source ± up to 20%, at least 1.
+	jitter := 1 + 0.4*(p.rng.Float64()-0.5)
+	dst = int(math.Round(float64(src) * jitter))
+	if dst < 1 {
+		dst = 1
+	}
+	if dst > WMTMaxLen {
+		dst = WMTMaxLen
+	}
+	return src, dst
+}
+
+// WordSampler draws word ids uniformly from [first, vocab), skipping
+// reserved symbols below first.
+type WordSampler struct {
+	rng   *tensor.RNG
+	first int
+	vocab int
+}
+
+// NewWordSampler returns a sampler over [first, vocab).
+func NewWordSampler(seed uint64, first, vocab int) *WordSampler {
+	if first < 0 || vocab <= first {
+		panic(fmt.Sprintf("dataset: bad word range [%d,%d)", first, vocab))
+	}
+	return &WordSampler{rng: tensor.NewRNG(seed), first: first, vocab: vocab}
+}
+
+// Sentence returns n word ids.
+func (w *WordSampler) Sentence(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = w.first + w.rng.Intn(w.vocab-w.first)
+	}
+	return out
+}
+
+// TreeSampler generates random binary parse trees with a TreeBank-like leaf
+// count distribution (sentence lengths roughly 2-50 words, mean ~20), built
+// by random binary bracketings like a parser would produce.
+type TreeSampler struct {
+	rng   *tensor.RNG
+	words *WordSampler
+}
+
+// NewTreeSampler returns a deterministic tree sampler over the vocabulary.
+func NewTreeSampler(seed uint64, vocab int) *TreeSampler {
+	return &TreeSampler{
+		rng:   tensor.NewRNG(seed),
+		words: NewWordSampler(seed^0xF00D, 0, vocab),
+	}
+}
+
+// Sample returns a random binary tree.
+func (s *TreeSampler) Sample() *cellgraph.Tree {
+	// Leaf count: 2 + round(exp-ish); TreeBank sentences average ~20 words.
+	n := 2 + int(18*s.rng.ExpFloat64())
+	if n > 50 {
+		n = 50
+	}
+	ids := s.words.Sentence(n)
+	return s.bracket(ids)
+}
+
+// bracket builds a random binary bracketing over the word ids.
+func (s *TreeSampler) bracket(ids []int) *cellgraph.Tree {
+	if len(ids) == 1 {
+		return &cellgraph.Tree{WordID: ids[0]}
+	}
+	split := 1 + s.rng.Intn(len(ids)-1)
+	return &cellgraph.Tree{
+		Left:  s.bracket(ids[:split]),
+		Right: s.bracket(ids[split:]),
+	}
+}
+
+// Poisson generates open-loop arrival times with exponential inter-arrival
+// gaps at the given rate (requests per second of virtual time).
+type Poisson struct {
+	rng  *tensor.RNG
+	rate float64
+}
+
+// NewPoisson returns a Poisson arrival generator.
+func NewPoisson(seed uint64, ratePerSec float64) *Poisson {
+	if ratePerSec <= 0 {
+		panic("dataset: arrival rate must be positive")
+	}
+	return &Poisson{rng: tensor.NewRNG(seed), rate: ratePerSec}
+}
+
+// NextGapNanos returns the next inter-arrival gap in nanoseconds.
+func (p *Poisson) NextGapNanos() int64 {
+	gapSec := p.rng.ExpFloat64() / p.rate
+	return int64(gapSec * 1e9)
+}
+
+// FileLengths replays sentence lengths loaded from a corpus file (one
+// integer per line, '#'-prefixed comments and blank lines ignored), cycling
+// when exhausted. It lets users substitute a real dataset — e.g. true
+// WMT-15 sentence lengths — for the synthetic sampler.
+type FileLengths struct {
+	lengths []int
+	i       int
+}
+
+// ReadLengths parses a lengths corpus from r.
+func ReadLengths(r io.Reader) (*FileLengths, error) {
+	sc := bufio.NewScanner(r)
+	var lengths []int
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("dataset: line %d: length %d must be >= 1", line, n)
+		}
+		lengths = append(lengths, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading lengths: %w", err)
+	}
+	if len(lengths) == 0 {
+		return nil, fmt.Errorf("dataset: empty lengths corpus")
+	}
+	return &FileLengths{lengths: lengths}, nil
+}
+
+// Sample implements LengthSampler, replaying the corpus cyclically.
+func (f *FileLengths) Sample() int {
+	n := f.lengths[f.i%len(f.lengths)]
+	f.i++
+	return n
+}
+
+// Len returns the corpus size.
+func (f *FileLengths) Len() int { return len(f.lengths) }
+
+// Stats summarizes a sample of lengths for reporting (Figure 10).
+type Stats struct {
+	Mean         float64
+	Max          int
+	P50, P90     int
+	P99          int
+	FracUnder100 float64
+}
+
+// Summarize computes Stats over n draws from the sampler.
+func Summarize(s LengthSampler, n int) Stats {
+	lens := make([]int, n)
+	sum := 0
+	under := 0
+	maxv := 0
+	for i := range lens {
+		lens[i] = s.Sample()
+		sum += lens[i]
+		if lens[i] < 100 {
+			under++
+		}
+		if lens[i] > maxv {
+			maxv = lens[i]
+		}
+	}
+	sort.Ints(lens)
+	return Stats{
+		Mean:         float64(sum) / float64(n),
+		Max:          maxv,
+		P50:          lens[n/2],
+		P90:          lens[n*9/10],
+		P99:          lens[n*99/100],
+		FracUnder100: float64(under) / float64(n),
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWMTLengthsMatchPaperStatistics(t *testing.T) {
+	// Figure 10 / §7.1 anchors: mean ≈ 24, max ≤ 330, ~99% under 100.
+	s := Summarize(NewWMTLengths(1), 100_000)
+	if s.Mean < 21 || s.Mean > 27 {
+		t.Fatalf("mean = %v, want ≈24", s.Mean)
+	}
+	if s.Max > WMTMaxLen {
+		t.Fatalf("max = %d, exceeds clip %d", s.Max, WMTMaxLen)
+	}
+	if s.FracUnder100 < 0.965 {
+		t.Fatalf("frac under 100 = %v, want ≈0.99", s.FracUnder100)
+	}
+}
+
+func TestWMTLengthsDeterministic(t *testing.T) {
+	a, b := NewWMTLengths(7), NewWMTLengths(7)
+	for i := 0; i < 100; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+}
+
+func TestClippedLengths(t *testing.T) {
+	c := &ClippedLengths{Inner: NewWMTLengths(3), Max: 50}
+	for i := 0; i < 10_000; i++ {
+		n := c.Sample()
+		if n < 1 || n > 50 {
+			t.Fatalf("clipped sample = %d", n)
+		}
+	}
+}
+
+func TestFixedLengths(t *testing.T) {
+	f := FixedLengths{N: 24}
+	for i := 0; i < 10; i++ {
+		if f.Sample() != 24 {
+			t.Fatal("fixed sampler must always return N")
+		}
+	}
+}
+
+func TestUniformLengthsRangeProperty(t *testing.T) {
+	f := func(seed uint64, lo, span uint8) bool {
+		min := int(lo%20) + 1
+		max := min + int(span%30)
+		u := NewUniformLengths(seed, min, max)
+		for i := 0; i < 50; i++ {
+			n := u.Sample()
+			if n < min || n > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewUniformLengths(1, 5, 4)
+}
+
+func TestPairSamplerCorrelated(t *testing.T) {
+	p := NewPairSampler(11)
+	for i := 0; i < 10_000; i++ {
+		src, dst := p.Sample()
+		if src < 1 || dst < 1 || dst > WMTMaxLen {
+			t.Fatalf("pair = (%d,%d)", src, dst)
+		}
+		// Correlation bound: dst within ±30% of src (allowing rounding).
+		lo, hi := int(float64(src)*0.7)-1, int(float64(src)*1.3)+1
+		if dst < lo || dst > hi {
+			t.Fatalf("uncorrelated pair (%d,%d)", src, dst)
+		}
+	}
+}
+
+func TestWordSampler(t *testing.T) {
+	w := NewWordSampler(5, 2, 100)
+	sent := w.Sentence(1000)
+	if len(sent) != 1000 {
+		t.Fatalf("len = %d", len(sent))
+	}
+	for _, id := range sent {
+		if id < 2 || id >= 100 {
+			t.Fatalf("word id %d out of [2,100)", id)
+		}
+	}
+}
+
+func TestWordSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewWordSampler(1, 10, 10)
+}
+
+func TestTreeSamplerProducesValidBinaryTrees(t *testing.T) {
+	s := NewTreeSampler(13, 100)
+	totalLeaves := 0
+	for i := 0; i < 2000; i++ {
+		tr := s.Sample()
+		if err := tr.Validate(100); err != nil {
+			t.Fatalf("invalid tree: %v", err)
+		}
+		l := tr.Leaves()
+		if l < 2 || l > 50 {
+			t.Fatalf("leaves = %d", l)
+		}
+		if tr.Nodes() != 2*l-1 {
+			t.Fatalf("binary tree must have 2L-1 nodes, got %d for %d leaves", tr.Nodes(), l)
+		}
+		totalLeaves += l
+	}
+	mean := float64(totalLeaves) / 2000
+	if mean < 12 || mean > 28 {
+		t.Fatalf("mean leaves = %v, want ≈20", mean)
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	p := NewPoisson(17, 1000) // 1k req/s → mean gap 1ms
+	var sum int64
+	n := 100_000
+	for i := 0; i < n; i++ {
+		g := p.NextGapNanos()
+		if g < 0 {
+			t.Fatalf("negative gap %d", g)
+		}
+		sum += g
+	}
+	meanMs := float64(sum) / float64(n) / 1e6
+	if meanMs < 0.95 || meanMs > 1.05 {
+		t.Fatalf("mean gap = %vms, want ≈1ms", meanMs)
+	}
+}
+
+func TestPoissonPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewPoisson(1, 0)
+}
+
+func TestReadLengths(t *testing.T) {
+	in := "# comment\n24\n\n7\n330\n"
+	f, err := ReadLengths(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	// Cyclic replay.
+	want := []int{24, 7, 330, 24, 7}
+	for i, w := range want {
+		if got := f.Sample(); got != w {
+			t.Fatalf("sample %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestReadLengthsErrors(t *testing.T) {
+	if _, err := ReadLengths(strings.NewReader("")); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := ReadLengths(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := ReadLengths(strings.NewReader("0\n")); err == nil {
+		t.Fatal("want positivity error")
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	s := Summarize(FixedLengths{N: 7}, 100)
+	if s.Mean != 7 || s.P50 != 7 || s.P99 != 7 || s.Max != 7 || s.FracUnder100 != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

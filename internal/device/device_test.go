@@ -1,0 +1,171 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLSTMCurveMatchesPaperAnchors(t *testing.T) {
+	c := LSTMGPUCurve()
+	// §7.3 anchors: ~185µs at b=64, ~784µs at b=512.
+	if got := c.Time(64); got < 184*time.Microsecond || got > 186*time.Microsecond {
+		t.Fatalf("Time(64) = %v, want ≈185µs", got)
+	}
+	t512 := c.Time(512)
+	if t512 < 770*time.Microsecond || t512 > 800*time.Microsecond {
+		t.Fatalf("Time(512) = %v, want ≈784µs", t512)
+	}
+	// "Execution time remains almost unchanged first": the fixed kernel
+	// cost dominates small batches, so t(2) is within 2x of t(1) and far
+	// below t(512).
+	if c.Time(2) > 2*c.Time(1) || c.Time(16) > t512/4 {
+		t.Fatalf("small-batch regime wrong: t(1)=%v t(2)=%v t(16)=%v", c.Time(1), c.Time(2), c.Time(16))
+	}
+	// Beyond 512, doubling the batch doubles the time (§2.2).
+	r := float64(c.Time(2048)) / float64(c.Time(1024))
+	if r < 1.95 || r > 2.05 {
+		t.Fatalf("linear regime ratio = %v, want ≈2", r)
+	}
+}
+
+func TestCurveMonotonicityProperties(t *testing.T) {
+	curves := []Curve{LSTMGPUCurve(), DecoderGPUCurve(), TreeLeafGPUCurve(), LSTMCPUCurve()}
+	f := func(bs uint16) bool {
+		b := int(bs%4096) + 1
+		for _, c := range curves {
+			// Time non-decreasing in batch; throughput non-decreasing up to
+			// the linear knee.
+			if c.Time(b+1) < c.Time(b) {
+				return false
+			}
+			if b+1 <= c.Knee && c.Throughput(b+1) < c.Throughput(b)*0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestBatchMatchesPaperChoices(t *testing.T) {
+	// §7.1: bmax=512 optimizes LSTM throughput; §7.4: 256 for decoders.
+	if got := LSTMGPUCurve().BestBatch(4096); got != 512 {
+		t.Fatalf("LSTM best batch = %d, want 512", got)
+	}
+	if got := DecoderGPUCurve().BestBatch(4096); got != 256 {
+		t.Fatalf("decoder best batch = %d, want 256", got)
+	}
+}
+
+func TestDecoderCurveIsThreeTimesEncoder(t *testing.T) {
+	e, d := LSTMGPUCurve(), DecoderGPUCurve()
+	r := float64(d.Time(64)) / float64(e.Time(64))
+	if r < 2.9 || r > 3.1 {
+		t.Fatalf("decoder/encoder cost ratio = %v, want ≈3", r)
+	}
+}
+
+func TestCurvePanicsOnNonPositiveBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	LSTMGPUCurve().Time(0)
+}
+
+func TestCostModel(t *testing.T) {
+	m := NewCostModel()
+	m.SetCurve("lstm", LSTMGPUCurve())
+	if got := m.KernelTime("lstm", 64); got != LSTMStep64 {
+		t.Fatalf("KernelTime = %v", got)
+	}
+	if _, ok := m.Curve("lstm"); !ok {
+		t.Fatal("Curve lookup failed")
+	}
+	if _, ok := m.Curve("nope"); ok {
+		t.Fatal("unknown curve must miss")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown type must panic")
+		}
+	}()
+	m.KernelTime("nope", 1)
+}
+
+func TestGPUFIFOSubmission(t *testing.T) {
+	g := &GPU{ID: 0}
+	s1, e1 := g.Submit(0, 100*time.Microsecond)
+	if s1 != 0 || e1 != 100*time.Microsecond {
+		t.Fatalf("first task [%v,%v]", s1, e1)
+	}
+	// Submitted while busy: queues behind.
+	s2, e2 := g.Submit(10*time.Microsecond, 50*time.Microsecond)
+	if s2 != 100*time.Microsecond || e2 != 150*time.Microsecond {
+		t.Fatalf("second task [%v,%v]", s2, e2)
+	}
+	// Submitted after idle gap: starts immediately.
+	s3, _ := g.Submit(300*time.Microsecond, 10*time.Microsecond)
+	if s3 != 300*time.Microsecond {
+		t.Fatalf("third task starts %v", s3)
+	}
+	if g.Tasks() != 3 {
+		t.Fatalf("tasks = %d", g.Tasks())
+	}
+	u := g.Utilization(310 * time.Microsecond)
+	if u < 0.51 || u > 0.52 { // 160µs busy over 310µs
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestOverheads(t *testing.T) {
+	o := DefaultOverheads()
+	// §7.3 anchor 1: at batch 64 BatchMaker needs ~250µs per 185µs step,
+	// so overhead(64) ≈ 65µs.
+	if got := o.PerTask(64); got < 63*time.Microsecond || got > 67*time.Microsecond {
+		t.Fatalf("overhead(64) = %v, want ≈65µs", got)
+	}
+	// §7.3 anchor 2: fixed-length throughput is ~87% of theoretical peak,
+	// so overhead(512) ≈ 0.13 × (784µs + overhead) ≈ 100-105µs.
+	if got := o.PerTask(512); got < 95*time.Microsecond || got > 110*time.Microsecond {
+		t.Fatalf("overhead(512) = %v, want ≈102µs", got)
+	}
+	// Monotone in batch size.
+	if o.PerTask(512) <= o.PerTask(64) {
+		t.Fatal("overhead must grow with batch size")
+	}
+	if o.CopyTime(1000) <= o.DeviceCopyLatency {
+		t.Fatal("copy time must include per-byte cost")
+	}
+}
+
+func TestMicrobenchSweep(t *testing.T) {
+	pts := Microbench(LSTMGPUCurve(), 4096)
+	if len(pts) != 12 { // 2,4,...,4096
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Batch != 2 || pts[len(pts)-1].Batch != 4096 {
+		t.Fatalf("sweep range wrong: %v..%v", pts[0].Batch, pts[len(pts)-1].Batch)
+	}
+	// Throughput at 512 ≈ 653k cells/s (512 / 784µs).
+	var at512 float64
+	for _, p := range pts {
+		if p.Batch == 512 {
+			at512 = p.Throughput
+		}
+	}
+	if at512 < 630e3 || at512 > 670e3 {
+		t.Fatalf("throughput(512) = %v, want ≈653k", at512)
+	}
+}
+
+func TestGPUUtilizationZeroElapsed(t *testing.T) {
+	g := &GPU{}
+	if g.Utilization(0) != 0 {
+		t.Fatal("zero elapsed must give zero utilization")
+	}
+}

@@ -1,0 +1,275 @@
+// Package graph implements the dataflow-graph substrate BatchMaker cells are
+// defined in.
+//
+// In the paper (§4.1) users export each RNN cell's dataflow graph from their
+// MXNet/TensorFlow training program as a JSON file and hand it to BatchMaker,
+// which parses it, performs type/shape inference, and materializes the cell
+// for every supported batch size. This package plays that role: it defines a
+// CellDef (a small dataflow graph over named tensors with shared parameter
+// weights), JSON (de)serialization, validation, topological sorting, shape
+// inference, and a reference interpreter that executes a cell definition on
+// real tensors.
+//
+// Two cells are of the same type when they have identical subgraphs, share
+// parameter weights, and expect identically shaped inputs (§3.1); TypeKey
+// computes that identity.
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates the primitive dataflow operators a cell body may use. The set
+// covers everything LSTM, Seq2Seq encoder/decoder, GRU and TreeLSTM cells
+// need.
+type Op string
+
+// Supported operators.
+const (
+	OpMatMul     Op = "matmul"      // inputs: x [b,k], param w [k,n] -> [b,n]
+	OpAddBias    Op = "add_bias"    // inputs: x [b,n], param bias [n] -> [b,n]
+	OpAdd        Op = "add"         // element-wise sum of two same-shaped inputs
+	OpMul        Op = "mul"         // element-wise (Hadamard) product
+	OpSub        Op = "sub"         // element-wise difference
+	OpSigmoid    Op = "sigmoid"     // element-wise logistic
+	OpTanh       Op = "tanh"        // element-wise tanh
+	OpRelu       Op = "relu"        // element-wise max(0,x)
+	OpSoftmax    Op = "softmax"     // row softmax on [b,n]
+	OpConcatCols Op = "concat_cols" // concatenate along axis 1
+	OpSliceCols  Op = "slice_cols"  // attrs begin,end: columns [begin,end)
+	OpEmbed      Op = "embed"       // inputs: ids [b,1] one-col float ids, param table [V,d] -> [b,d]
+	OpArgmaxCast Op = "argmax_cast" // [b,n] -> [b,1] float-encoded argmax indices
+)
+
+// NodeDef is one operator invocation inside a cell body. Inputs name either
+// cell inputs, parameters, or outputs of other nodes.
+type NodeDef struct {
+	Name   string         `json:"name"`
+	Op     Op             `json:"op"`
+	Inputs []string       `json:"inputs"`
+	Attrs  map[string]int `json:"attrs,omitempty"`
+}
+
+// TensorSpec declares a named tensor and its shape. For cell inputs and
+// outputs the leading batch dimension is implicit and NOT included in Shape:
+// a spec with Shape [1024] describes a [b, 1024] tensor at batch size b
+// (matching the paper's rule that the first dimension of every input is the
+// batch dimension). For parameters, Shape is the full weight shape.
+type TensorSpec struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+}
+
+// CellDef is the definition of an RNN cell: a sub-dataflow-graph with shared
+// parameter weights (§3.1). It is the unit at which cellular batching makes
+// batching decisions.
+type CellDef struct {
+	Name    string       `json:"name"`
+	Inputs  []TensorSpec `json:"inputs"`
+	Params  []TensorSpec `json:"params"`
+	Outputs []string     `json:"outputs"`
+	Nodes   []NodeDef    `json:"nodes"`
+}
+
+// MarshalJSON uses the plain struct encoding; defined explicitly so the
+// serialized form is stable and documented as the interchange format.
+func (d *CellDef) MarshalJSON() ([]byte, error) {
+	type alias CellDef
+	return json.Marshal((*alias)(d))
+}
+
+// ToJSON serializes the cell definition in the interchange format users
+// would export from a training framework.
+func (d *CellDef) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// FromJSON parses a cell definition and validates it.
+func FromJSON(data []byte) (*CellDef, error) {
+	var d CellDef
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("graph: parsing cell definition: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks structural well-formedness: unique names, inputs that
+// resolve, no cycles, outputs that exist, and operator arities.
+func (d *CellDef) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("graph: cell has no name")
+	}
+	seen := make(map[string]string) // name -> kind
+	declare := func(name, kind string) error {
+		if name == "" {
+			return fmt.Errorf("graph: cell %q has an unnamed %s", d.Name, kind)
+		}
+		if prev, ok := seen[name]; ok {
+			return fmt.Errorf("graph: cell %q: name %q declared as both %s and %s", d.Name, name, prev, kind)
+		}
+		seen[name] = kind
+		return nil
+	}
+	for _, in := range d.Inputs {
+		if err := declare(in.Name, "input"); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.Params {
+		if err := declare(p.Name, "param"); err != nil {
+			return err
+		}
+	}
+	for _, n := range d.Nodes {
+		if err := declare(n.Name, "node"); err != nil {
+			return err
+		}
+	}
+	for _, n := range d.Nodes {
+		if err := checkArity(n); err != nil {
+			return fmt.Errorf("graph: cell %q: %w", d.Name, err)
+		}
+		for _, in := range n.Inputs {
+			if _, ok := seen[in]; !ok {
+				return fmt.Errorf("graph: cell %q: node %q reads undeclared tensor %q", d.Name, n.Name, in)
+			}
+		}
+	}
+	if len(d.Outputs) == 0 {
+		return fmt.Errorf("graph: cell %q has no outputs", d.Name)
+	}
+	for _, out := range d.Outputs {
+		if _, ok := seen[out]; !ok {
+			return fmt.Errorf("graph: cell %q: output %q is not produced", d.Name, out)
+		}
+	}
+	if _, err := d.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkArity(n NodeDef) error {
+	want := -1
+	switch n.Op {
+	case OpMatMul, OpAddBias, OpAdd, OpMul, OpSub, OpEmbed:
+		want = 2
+	case OpSigmoid, OpTanh, OpRelu, OpSoftmax, OpArgmaxCast, OpSliceCols:
+		want = 1
+	case OpConcatCols:
+		if len(n.Inputs) < 2 {
+			return fmt.Errorf("node %q: concat_cols needs >=2 inputs, got %d", n.Name, len(n.Inputs))
+		}
+		return nil
+	default:
+		return fmt.Errorf("node %q: unknown op %q", n.Name, n.Op)
+	}
+	if len(n.Inputs) != want {
+		return fmt.Errorf("node %q: op %s needs %d inputs, got %d", n.Name, n.Op, want, len(n.Inputs))
+	}
+	if n.Op == OpSliceCols {
+		if n.Attrs == nil {
+			return fmt.Errorf("node %q: slice_cols needs begin/end attrs", n.Name)
+		}
+		b, okB := n.Attrs["begin"]
+		e, okE := n.Attrs["end"]
+		if !okB || !okE || b < 0 || e < b {
+			return fmt.Errorf("node %q: slice_cols has invalid begin/end attrs", n.Name)
+		}
+	}
+	return nil
+}
+
+// TopoSort returns the node names in a dependency-respecting order, or an
+// error if the definition contains a cycle. Kahn's algorithm with
+// deterministic tie-breaking (declaration order).
+func (d *CellDef) TopoSort() ([]string, error) {
+	produced := make(map[string]int, len(d.Nodes)) // node name -> index
+	for i, n := range d.Nodes {
+		produced[n.Name] = i
+	}
+	indeg := make([]int, len(d.Nodes))
+	dependents := make([][]int, len(d.Nodes))
+	for i, n := range d.Nodes {
+		for _, in := range n.Inputs {
+			if j, ok := produced[in]; ok {
+				indeg[i]++
+				dependents[j] = append(dependents[j], i)
+			}
+		}
+	}
+	var order []string
+	ready := make([]int, 0, len(d.Nodes))
+	for i := range d.Nodes {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		// Deterministic: take the lowest declaration index first.
+		sort.Ints(ready)
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, d.Nodes[i].Name)
+		for _, j := range dependents[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if len(order) != len(d.Nodes) {
+		var stuck []string
+		for i, n := range d.Nodes {
+			if indeg[i] > 0 {
+				stuck = append(stuck, n.Name)
+			}
+		}
+		return nil, fmt.Errorf("graph: cell %q contains a cycle through %s", d.Name, strings.Join(stuck, ", "))
+	}
+	return order, nil
+}
+
+// TypeKey returns the cell-type identity string: a hash over the canonical
+// definition, the weight fingerprint, and the (batch-free) input shapes.
+// Cells with equal TypeKeys may be batched together (§3.1).
+func (d *CellDef) TypeKey(weightsFingerprint string) string {
+	canon, err := json.Marshal(d)
+	if err != nil {
+		// CellDef contains only marshalable fields; this cannot happen.
+		panic(fmt.Sprintf("graph: marshaling cell %q: %v", d.Name, err))
+	}
+	h := sha256.New()
+	h.Write(canon)
+	h.Write([]byte{0})
+	h.Write([]byte(weightsFingerprint))
+	return d.Name + ":" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// InputSpec returns the spec of the named input, if present.
+func (d *CellDef) InputSpec(name string) (TensorSpec, bool) {
+	for _, in := range d.Inputs {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return TensorSpec{}, false
+}
+
+// ParamSpec returns the spec of the named parameter, if present.
+func (d *CellDef) ParamSpec(name string) (TensorSpec, bool) {
+	for _, p := range d.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return TensorSpec{}, false
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// simpleDef builds a tiny valid cell: out = tanh(x @ w + b).
+func simpleDef() *CellDef {
+	return &CellDef{
+		Name:   "dense",
+		Inputs: []TensorSpec{{Name: "x", Shape: []int{4}}},
+		Params: []TensorSpec{
+			{Name: "w", Shape: []int{4, 3}},
+			{Name: "b", Shape: []int{3}},
+		},
+		Outputs: []string{"act"},
+		Nodes: []NodeDef{
+			{Name: "mm", Op: OpMatMul, Inputs: []string{"x", "w"}},
+			{Name: "lin", Op: OpAddBias, Inputs: []string{"mm", "b"}},
+			{Name: "act", Op: OpTanh, Inputs: []string{"lin"}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := simpleDef().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateName(t *testing.T) {
+	d := simpleDef()
+	d.Nodes[0].Name = "x" // collides with the input
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "declared as both") {
+		t.Fatalf("want duplicate-name error, got %v", err)
+	}
+}
+
+func TestValidateRejectsUndeclaredInput(t *testing.T) {
+	d := simpleDef()
+	d.Nodes[0].Inputs[0] = "ghost"
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("want undeclared-tensor error, got %v", err)
+	}
+}
+
+func TestValidateRejectsMissingOutput(t *testing.T) {
+	d := simpleDef()
+	d.Outputs = []string{"nope"}
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "not produced") {
+		t.Fatalf("want missing-output error, got %v", err)
+	}
+}
+
+func TestValidateRejectsNoOutputs(t *testing.T) {
+	d := simpleDef()
+	d.Outputs = nil
+	if err := d.Validate(); err == nil {
+		t.Fatal("want no-outputs error")
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	d := &CellDef{
+		Name:    "cyc",
+		Inputs:  []TensorSpec{{Name: "x", Shape: []int{2}}},
+		Outputs: []string{"a"},
+		Nodes: []NodeDef{
+			{Name: "a", Op: OpAdd, Inputs: []string{"b", "x"}},
+			{Name: "b", Op: OpAdd, Inputs: []string{"a", "x"}},
+		},
+	}
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle error, got %v", err)
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	d := simpleDef()
+	d.Nodes[2].Inputs = []string{"lin", "lin"} // tanh takes one input
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "needs 1 inputs") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+}
+
+func TestValidateUnknownOp(t *testing.T) {
+	d := simpleDef()
+	d.Nodes[2].Op = Op("frobnicate")
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("want unknown-op error, got %v", err)
+	}
+}
+
+func TestValidateSliceColsAttrs(t *testing.T) {
+	d := &CellDef{
+		Name:    "s",
+		Inputs:  []TensorSpec{{Name: "x", Shape: []int{4}}},
+		Outputs: []string{"part"},
+		Nodes:   []NodeDef{{Name: "part", Op: OpSliceCols, Inputs: []string{"x"}}},
+	}
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "begin/end") {
+		t.Fatalf("want attr error, got %v", err)
+	}
+	d.Nodes[0].Attrs = map[string]int{"begin": 2, "end": 1}
+	if err := d.Validate(); err == nil {
+		t.Fatal("want invalid-range error")
+	}
+	d.Nodes[0].Attrs = map[string]int{"begin": 0, "end": 2}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid slice rejected: %v", err)
+	}
+}
+
+func TestTopoSortOrderRespectsDeps(t *testing.T) {
+	d := simpleDef()
+	order, err := d.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos["mm"] < pos["lin"] && pos["lin"] < pos["act"]) {
+		t.Fatalf("bad topo order: %v", order)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := simpleDef()
+	data, err := d.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || len(back.Nodes) != len(d.Nodes) || len(back.Params) != 2 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if back.Nodes[0].Op != OpMatMul {
+		t.Fatalf("op lost in round trip: %v", back.Nodes[0].Op)
+	}
+}
+
+func TestFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := FromJSON([]byte("{not json")); err == nil {
+		t.Fatal("want parse error")
+	}
+	// Valid JSON, invalid cell.
+	if _, err := FromJSON([]byte(`{"name":""}`)); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestTypeKeyDistinguishesDefsAndWeights(t *testing.T) {
+	d1 := simpleDef()
+	d2 := simpleDef()
+	if d1.TypeKey("fpA") != d2.TypeKey("fpA") {
+		t.Fatal("identical defs+weights must share a type key")
+	}
+	if d1.TypeKey("fpA") == d1.TypeKey("fpB") {
+		t.Fatal("different weights must give different type keys")
+	}
+	d2.Nodes[2].Op = OpSigmoid
+	if d1.TypeKey("fpA") == d2.TypeKey("fpA") {
+		t.Fatal("different defs must give different type keys")
+	}
+}
+
+func TestSpecLookups(t *testing.T) {
+	d := simpleDef()
+	if s, ok := d.InputSpec("x"); !ok || s.Shape[0] != 4 {
+		t.Fatalf("InputSpec x = %+v, %v", s, ok)
+	}
+	if _, ok := d.InputSpec("nope"); ok {
+		t.Fatal("InputSpec must miss")
+	}
+	if s, ok := d.ParamSpec("w"); !ok || s.Shape[1] != 3 {
+		t.Fatalf("ParamSpec w = %+v, %v", s, ok)
+	}
+	if _, ok := d.ParamSpec("nope"); ok {
+		t.Fatal("ParamSpec must miss")
+	}
+}

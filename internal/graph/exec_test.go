@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"batchmaker/internal/tensor"
+)
+
+func simpleWeights() Weights {
+	w := tensor.New(4, 3)
+	for i := 0; i < 4; i++ {
+		w.Set(float32(i+1)/10, i, i%3)
+	}
+	b := tensor.FromSlice([]float32{0.1, -0.2, 0.3}, 3)
+	return Weights{"w": w, "b": b}
+}
+
+func TestExecutorDenseMatchesManual(t *testing.T) {
+	def := simpleDef()
+	w := simpleWeights()
+	ex, err := NewExecutor(def, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 0, 0, 0, 0}, 2, 4)
+	outs, err := ex.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Tanh(tensor.MatMulAddBias(x, w["w"], w["b"]))
+	if !outs["act"].AllClose(want, 1e-6) {
+		t.Fatalf("executor output %v, want %v", outs["act"].Data(), want.Data())
+	}
+}
+
+func TestExecutorMissingWeight(t *testing.T) {
+	w := simpleWeights()
+	delete(w, "b")
+	if _, err := NewExecutor(simpleDef(), w); err == nil || !strings.Contains(err.Error(), "missing weight") {
+		t.Fatalf("want missing-weight error, got %v", err)
+	}
+}
+
+func TestExecutorWrongWeightShape(t *testing.T) {
+	w := simpleWeights()
+	w["b"] = tensor.New(5)
+	if _, err := NewExecutor(simpleDef(), w); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("want shape error, got %v", err)
+	}
+}
+
+func TestExecutorMissingInput(t *testing.T) {
+	ex, err := NewExecutor(simpleDef(), simpleWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(map[string]*tensor.Tensor{}); err == nil || !strings.Contains(err.Error(), "missing input") {
+		t.Fatalf("want missing-input error, got %v", err)
+	}
+}
+
+func TestExecutorBatchMismatch(t *testing.T) {
+	def := &CellDef{
+		Name: "two",
+		Inputs: []TensorSpec{
+			{Name: "a", Shape: []int{2}},
+			{Name: "b", Shape: []int{2}},
+		},
+		Outputs: []string{"s"},
+		Nodes:   []NodeDef{{Name: "s", Op: OpAdd, Inputs: []string{"a", "b"}}},
+	}
+	ex, err := NewExecutor(def, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ex.Run(map[string]*tensor.Tensor{
+		"a": tensor.New(2, 2),
+		"b": tensor.New(3, 2),
+	})
+	if err == nil || !strings.Contains(err.Error(), "batch") {
+		t.Fatalf("want batch-mismatch error, got %v", err)
+	}
+}
+
+func TestExecutorWrongInputShape(t *testing.T) {
+	ex, err := NewExecutor(simpleDef(), simpleWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(map[string]*tensor.Tensor{"x": tensor.New(2, 5)}); err == nil {
+		t.Fatal("want input-shape error")
+	}
+	if _, err := ex.Run(map[string]*tensor.Tensor{"x": tensor.New(8)}); err == nil {
+		t.Fatal("want rank error")
+	}
+}
+
+func TestExecutorEmbedAndArgmax(t *testing.T) {
+	def := &CellDef{
+		Name:   "embed_argmax",
+		Inputs: []TensorSpec{{Name: "ids", Shape: []int{1}}},
+		Params: []TensorSpec{{Name: "table", Shape: []int{5, 3}}},
+		Outputs: []string{
+			"vec", "best",
+		},
+		Nodes: []NodeDef{
+			{Name: "vec", Op: OpEmbed, Inputs: []string{"ids", "table"}},
+			{Name: "best", Op: OpArgmaxCast, Inputs: []string{"vec"}},
+		},
+	}
+	table := tensor.New(5, 3)
+	for i := 0; i < 5; i++ {
+		table.Set(float32(i), i, i%3) // row i peaks at column i%3
+	}
+	ex, err := NewExecutor(def, Weights{"table": table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tensor.FromSlice([]float32{4, 2}, 2, 1)
+	outs, err := ex.Run(map[string]*tensor.Tensor{"ids": ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs["vec"].At(0, 1) != 4 {
+		t.Fatalf("embed row 4 = %v", outs["vec"].Data())
+	}
+	if outs["best"].At(0, 0) != 1 || outs["best"].At(1, 0) != 2 {
+		t.Fatalf("argmax = %v", outs["best"].Data())
+	}
+}
+
+func TestExecutorEmbedOutOfVocab(t *testing.T) {
+	def := &CellDef{
+		Name:    "embed",
+		Inputs:  []TensorSpec{{Name: "ids", Shape: []int{1}}},
+		Params:  []TensorSpec{{Name: "table", Shape: []int{3, 2}}},
+		Outputs: []string{"vec"},
+		Nodes:   []NodeDef{{Name: "vec", Op: OpEmbed, Inputs: []string{"ids", "table"}}},
+	}
+	ex, err := NewExecutor(def, Weights{"table": tensor.New(3, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tensor.FromSlice([]float32{7}, 1, 1)
+	if _, err := ex.Run(map[string]*tensor.Tensor{"ids": ids}); err == nil {
+		t.Fatal("want out-of-vocabulary error")
+	}
+}
+
+func TestExecutorSliceConcatOps(t *testing.T) {
+	def := &CellDef{
+		Name:    "splitjoin",
+		Inputs:  []TensorSpec{{Name: "x", Shape: []int{4}}},
+		Outputs: []string{"joined"},
+		Nodes: []NodeDef{
+			{Name: "lo", Op: OpSliceCols, Inputs: []string{"x"}, Attrs: map[string]int{"begin": 0, "end": 2}},
+			{Name: "hi", Op: OpSliceCols, Inputs: []string{"x"}, Attrs: map[string]int{"begin": 2, "end": 4}},
+			{Name: "joined", Op: OpConcatCols, Inputs: []string{"hi", "lo"}},
+		},
+	}
+	ex, err := NewExecutor(def, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	outs, err := ex.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.FromSlice([]float32{3, 4, 1, 2}, 1, 4)
+	if !outs["joined"].Equal(want) {
+		t.Fatalf("joined = %v", outs["joined"].Data())
+	}
+}
+
+func TestInferShapesDense(t *testing.T) {
+	shapes, err := simpleDef().InferShapes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shapes["act"]; got[0] != 8 || got[1] != 3 {
+		t.Fatalf("act shape = %v", got)
+	}
+	if got := shapes["x"]; got[0] != 8 || got[1] != 4 {
+		t.Fatalf("x shape = %v", got)
+	}
+	if got := shapes["w"]; got[0] != 4 || got[1] != 3 {
+		t.Fatalf("w shape = %v", got)
+	}
+}
+
+func TestInferShapesErrors(t *testing.T) {
+	if _, err := simpleDef().InferShapes(0); err == nil {
+		t.Fatal("want batch-size error")
+	}
+	bad := simpleDef()
+	bad.Params[0].Shape = []int{5, 3} // matmul inner mismatch with x [b,4]
+	if _, err := bad.InferShapes(2); err == nil || !strings.Contains(err.Error(), "matmul") {
+		t.Fatalf("want matmul shape error, got %v", err)
+	}
+}
+
+func TestInferShapesAllOps(t *testing.T) {
+	def := &CellDef{
+		Name:   "allops",
+		Inputs: []TensorSpec{{Name: "x", Shape: []int{4}}, {Name: "ids", Shape: []int{1}}},
+		Params: []TensorSpec{{Name: "table", Shape: []int{9, 4}}},
+		Outputs: []string{
+			"soft", "pick", "r",
+		},
+		Nodes: []NodeDef{
+			{Name: "e", Op: OpEmbed, Inputs: []string{"ids", "table"}},
+			{Name: "sum", Op: OpAdd, Inputs: []string{"x", "e"}},
+			{Name: "d", Op: OpSub, Inputs: []string{"sum", "x"}},
+			{Name: "p", Op: OpMul, Inputs: []string{"d", "d"}},
+			{Name: "r", Op: OpRelu, Inputs: []string{"p"}},
+			{Name: "soft", Op: OpSoftmax, Inputs: []string{"r"}},
+			{Name: "pick", Op: OpArgmaxCast, Inputs: []string{"soft"}},
+		},
+	}
+	shapes, err := def.InferShapes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shapes["soft"]; got[0] != 3 || got[1] != 4 {
+		t.Fatalf("soft = %v", got)
+	}
+	if got := shapes["pick"]; got[0] != 3 || got[1] != 1 {
+		t.Fatalf("pick = %v", got)
+	}
+}
+
+func TestWeightsFingerprintStable(t *testing.T) {
+	w1 := simpleWeights()
+	w2 := simpleWeights()
+	if w1.Fingerprint() != w2.Fingerprint() {
+		t.Fatal("identical weights must share a fingerprint")
+	}
+	w2["w"].Set(9.9, 0, 0)
+	if w1.Fingerprint() == w2.Fingerprint() {
+		t.Fatal("different weights must differ in fingerprint")
+	}
+}
+
+func TestExecutorSoftmaxNumerics(t *testing.T) {
+	def := &CellDef{
+		Name:    "soft",
+		Inputs:  []TensorSpec{{Name: "x", Shape: []int{3}}},
+		Outputs: []string{"s"},
+		Nodes:   []NodeDef{{Name: "s", Op: OpSoftmax, Inputs: []string{"x"}}},
+	}
+	ex, err := NewExecutor(def, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float32{1e4, 1e4, 1e4}, 1, 3)
+	outs, err := ex.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range outs["s"].Data() {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)-1.0/3) > 1e-5 {
+			t.Fatalf("softmax overflow: %v", outs["s"].Data())
+		}
+	}
+}

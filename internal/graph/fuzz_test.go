@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets: the loaders accept files from disk/network (§6) and
+// must reject arbitrary corruption with errors, never panics or runaway
+// allocations. Under plain `go test` the seed corpus runs as regression
+// tests; use `go test -fuzz FuzzLoadWeights ./internal/graph` to explore.
+
+func FuzzFromJSON(f *testing.F) {
+	valid, err := simpleDef().ToJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","outputs":["a"],"nodes":[{"name":"a","op":"tanh","inputs":["a"]}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		def, err := FromJSON(data)
+		if err == nil && def == nil {
+			t.Fatal("nil def without error")
+		}
+		if def != nil {
+			// Anything the loader accepts must be internally consistent.
+			if err := def.Validate(); err != nil {
+				t.Fatalf("loader accepted invalid def: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzLoadWeights(f *testing.F) {
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, simpleWeights()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("BMW1"))
+	f.Add([]byte("BMW1\x01\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := LoadWeights(bytes.NewReader(data))
+		if err == nil {
+			// Accepted weights must round-trip.
+			var out bytes.Buffer
+			if err := SaveWeights(&out, w); err != nil {
+				t.Fatalf("accepted weights cannot be re-saved: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzLoadCell(f *testing.F) {
+	var buf bytes.Buffer
+	if err := SaveCell(&buf, simpleDef(), simpleWeights()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"magic":"BMCELL1","def_size":2}` + "\n{}"))
+	f.Add([]byte("\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		def, w, err := LoadCell(bytes.NewReader(data))
+		if err == nil {
+			if _, err := NewExecutor(def, w); err != nil {
+				t.Fatalf("accepted cell not executable: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package graph
+
+import "fmt"
+
+// InferShapes materializes the full shapes of every tensor in the cell at
+// batch size b: each input spec [d...] becomes [b, d...], parameters keep
+// their declared shapes, and node output shapes are derived operator by
+// operator. This is the type/shape-inference pass BatchMaker performs during
+// initialization (§6) so cells can be materialized per supported batch size.
+func (d *CellDef) InferShapes(b int) (map[string][]int, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("graph: batch size must be positive, got %d", b)
+	}
+	shapes := make(map[string][]int)
+	for _, in := range d.Inputs {
+		shapes[in.Name] = append([]int{b}, in.Shape...)
+	}
+	for _, p := range d.Params {
+		shapes[p.Name] = append([]int(nil), p.Shape...)
+	}
+	order, err := d.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]NodeDef, len(d.Nodes))
+	for _, n := range d.Nodes {
+		byName[n.Name] = n
+	}
+	for _, name := range order {
+		n := byName[name]
+		out, err := inferNode(n, shapes)
+		if err != nil {
+			return nil, fmt.Errorf("graph: cell %q: %w", d.Name, err)
+		}
+		shapes[n.Name] = out
+	}
+	return shapes, nil
+}
+
+func inferNode(n NodeDef, shapes map[string][]int) ([]int, error) {
+	in := func(i int) []int { return shapes[n.Inputs[i]] }
+	rank2 := func(i int) error {
+		if len(in(i)) != 2 {
+			return fmt.Errorf("node %q: input %q must be rank-2, has shape %v", n.Name, n.Inputs[i], in(i))
+		}
+		return nil
+	}
+	switch n.Op {
+	case OpMatMul:
+		if err := rank2(0); err != nil {
+			return nil, err
+		}
+		if err := rank2(1); err != nil {
+			return nil, err
+		}
+		if in(0)[1] != in(1)[0] {
+			return nil, fmt.Errorf("node %q: matmul inner dims %v @ %v", n.Name, in(0), in(1))
+		}
+		return []int{in(0)[0], in(1)[1]}, nil
+	case OpAddBias:
+		if err := rank2(0); err != nil {
+			return nil, err
+		}
+		if len(in(1)) != 1 || in(1)[0] != in(0)[1] {
+			return nil, fmt.Errorf("node %q: bias shape %v does not match %v", n.Name, in(1), in(0))
+		}
+		return append([]int(nil), in(0)...), nil
+	case OpAdd, OpMul, OpSub:
+		if !shapeEq(in(0), in(1)) {
+			return nil, fmt.Errorf("node %q: %s shape mismatch %v vs %v", n.Name, n.Op, in(0), in(1))
+		}
+		return append([]int(nil), in(0)...), nil
+	case OpSigmoid, OpTanh, OpRelu:
+		return append([]int(nil), in(0)...), nil
+	case OpSoftmax:
+		if err := rank2(0); err != nil {
+			return nil, err
+		}
+		return append([]int(nil), in(0)...), nil
+	case OpConcatCols:
+		rows := -1
+		cols := 0
+		for i := range n.Inputs {
+			if err := rank2(i); err != nil {
+				return nil, err
+			}
+			if rows == -1 {
+				rows = in(i)[0]
+			} else if rows != in(i)[0] {
+				return nil, fmt.Errorf("node %q: concat row mismatch", n.Name)
+			}
+			cols += in(i)[1]
+		}
+		return []int{rows, cols}, nil
+	case OpSliceCols:
+		if err := rank2(0); err != nil {
+			return nil, err
+		}
+		begin, end := n.Attrs["begin"], n.Attrs["end"]
+		if end > in(0)[1] {
+			return nil, fmt.Errorf("node %q: slice end %d exceeds %d columns", n.Name, end, in(0)[1])
+		}
+		return []int{in(0)[0], end - begin}, nil
+	case OpEmbed:
+		if err := rank2(0); err != nil {
+			return nil, err
+		}
+		if in(0)[1] != 1 {
+			return nil, fmt.Errorf("node %q: embed ids must be [b,1], got %v", n.Name, in(0))
+		}
+		if err := rank2(1); err != nil {
+			return nil, err
+		}
+		return []int{in(0)[0], in(1)[1]}, nil
+	case OpArgmaxCast:
+		if err := rank2(0); err != nil {
+			return nil, err
+		}
+		return []int{in(0)[0], 1}, nil
+	}
+	return nil, fmt.Errorf("node %q: unknown op %q", n.Name, n.Op)
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Optimization passes applied when a cell is materialized (§6: BatchMaker
+// reuses MXNet's parsing machinery and compiler-level optimizations such as
+// those done by NNVM / TensorFlow XLA). The interpreter executes any valid
+// definition, so these passes only shrink work; they never change results
+// (tested).
+
+// Eliminated describes the outcome of an optimization pass.
+type Eliminated struct {
+	DeadNodes   int
+	MergedNodes int
+}
+
+// Optimize returns a semantically equivalent definition with dead nodes
+// removed and duplicate (common-subexpression) nodes merged. The input is
+// not modified.
+func (d *CellDef) Optimize() (*CellDef, Eliminated, error) {
+	if err := d.Validate(); err != nil {
+		return nil, Eliminated{}, err
+	}
+	out := &CellDef{
+		Name:    d.Name,
+		Inputs:  append([]TensorSpec(nil), d.Inputs...),
+		Params:  append([]TensorSpec(nil), d.Params...),
+		Outputs: append([]string(nil), d.Outputs...),
+	}
+
+	// Common-subexpression elimination: two nodes with the same op, attrs
+	// and (post-rename) inputs compute the same tensor. Process in
+	// topological order so earlier merges enable later ones.
+	order, err := d.TopoSort()
+	if err != nil {
+		return nil, Eliminated{}, err
+	}
+	byName := make(map[string]NodeDef, len(d.Nodes))
+	for _, n := range d.Nodes {
+		byName[n.Name] = n
+	}
+	rename := make(map[string]string) // merged node -> surviving node
+	resolve := func(name string) string {
+		if to, ok := rename[name]; ok {
+			return to
+		}
+		return name
+	}
+	seen := make(map[string]string) // signature -> surviving node name
+	merged := 0
+	var kept []NodeDef
+	for _, name := range order {
+		n := byName[name]
+		inputs := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inputs[i] = resolve(in)
+		}
+		sig := signature(n, inputs)
+		if surv, ok := seen[sig]; ok {
+			rename[n.Name] = surv
+			merged++
+			continue
+		}
+		seen[sig] = n.Name
+		kept = append(kept, NodeDef{Name: n.Name, Op: n.Op, Inputs: inputs, Attrs: n.Attrs})
+	}
+	// Outputs may reference merged nodes.
+	for i, o := range out.Outputs {
+		out.Outputs[i] = resolve(o)
+	}
+
+	// Dead-node elimination: keep only nodes reachable from the outputs.
+	liveSet := make(map[string]bool)
+	var mark func(name string)
+	keptByName := make(map[string]NodeDef, len(kept))
+	for _, n := range kept {
+		keptByName[n.Name] = n
+	}
+	mark = func(name string) {
+		if liveSet[name] {
+			return
+		}
+		n, ok := keptByName[name]
+		if !ok {
+			return // input or param
+		}
+		liveSet[name] = true
+		for _, in := range n.Inputs {
+			mark(in)
+		}
+	}
+	for _, o := range out.Outputs {
+		mark(o)
+	}
+	dead := 0
+	for _, n := range kept {
+		if liveSet[n.Name] {
+			out.Nodes = append(out.Nodes, n)
+		} else {
+			dead++
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, Eliminated{}, fmt.Errorf("graph: optimizer produced an invalid cell: %w", err)
+	}
+	return out, Eliminated{DeadNodes: dead, MergedNodes: merged}, nil
+}
+
+func signature(n NodeDef, inputs []string) string {
+	sig := string(n.Op) + "("
+	for _, in := range inputs {
+		sig += in + ","
+	}
+	sig += ")"
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sig += fmt.Sprintf("%s=%d;", k, n.Attrs[k])
+		}
+	}
+	return sig
+}
+
+// WriteDot renders the cell's dataflow graph in Graphviz DOT format:
+// inputs as ellipses, parameters as diamonds, operators as boxes.
+func (d *CellDef) WriteDot(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	outputs := make(map[string]bool, len(d.Outputs))
+	for _, o := range d.Outputs {
+		outputs[o] = true
+	}
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("digraph %q {\n  rankdir=LR;\n", d.Name)
+	for _, in := range d.Inputs {
+		pr("  %q [shape=ellipse,label=\"%s %v\"];\n", in.Name, in.Name, in.Shape)
+	}
+	for _, p := range d.Params {
+		pr("  %q [shape=diamond,label=\"%s %v\"];\n", p.Name, p.Name, p.Shape)
+	}
+	for _, n := range d.Nodes {
+		style := ""
+		if outputs[n.Name] {
+			style = ",peripheries=2"
+		}
+		pr("  %q [shape=box,label=\"%s\\n%s\"%s];\n", n.Name, n.Name, n.Op, style)
+		for _, in := range n.Inputs {
+			pr("  %q -> %q;\n", in, n.Name)
+		}
+	}
+	pr("}\n")
+	return err
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"batchmaker/internal/tensor"
+)
+
+func TestOptimizeRemovesDeadNodes(t *testing.T) {
+	d := simpleDef()
+	// Add a dead branch nothing consumes.
+	d.Nodes = append(d.Nodes,
+		NodeDef{Name: "dead1", Op: OpSigmoid, Inputs: []string{"mm"}},
+		NodeDef{Name: "dead2", Op: OpTanh, Inputs: []string{"dead1"}},
+	)
+	opt, elim, err := d.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elim.DeadNodes != 2 {
+		t.Fatalf("dead = %d, want 2", elim.DeadNodes)
+	}
+	if len(opt.Nodes) != 3 {
+		t.Fatalf("kept nodes = %d, want 3", len(opt.Nodes))
+	}
+	// Equivalence on real data.
+	w := simpleWeights()
+	ex1, _ := NewExecutor(d, w)
+	ex2, _ := NewExecutor(opt, w)
+	x := tensor.RandUniform(tensor.NewRNG(3), 1, 2, 4)
+	out1, err := ex1.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := ex2.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out1["act"].Equal(out2["act"]) {
+		t.Fatal("optimization changed the result")
+	}
+}
+
+func TestOptimizeMergesCommonSubexpressions(t *testing.T) {
+	d := &CellDef{
+		Name:   "cse",
+		Inputs: []TensorSpec{{Name: "x", Shape: []int{4}}},
+		Params: []TensorSpec{{Name: "w", Shape: []int{4, 4}}},
+		Outputs: []string{
+			"sum",
+		},
+		Nodes: []NodeDef{
+			{Name: "m1", Op: OpMatMul, Inputs: []string{"x", "w"}},
+			{Name: "m2", Op: OpMatMul, Inputs: []string{"x", "w"}}, // duplicate of m1
+			{Name: "t1", Op: OpTanh, Inputs: []string{"m1"}},
+			{Name: "t2", Op: OpTanh, Inputs: []string{"m2"}}, // duplicate after m2->m1
+			{Name: "sum", Op: OpAdd, Inputs: []string{"t1", "t2"}},
+		},
+	}
+	opt, elim, err := d.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elim.MergedNodes != 2 {
+		t.Fatalf("merged = %d, want 2 (m2 and t2)", elim.MergedNodes)
+	}
+	if len(opt.Nodes) != 3 {
+		t.Fatalf("kept = %d, want 3", len(opt.Nodes))
+	}
+	// The result is tanh(x@w) + tanh(x@w) in both versions.
+	w := Weights{"w": tensor.RandUniform(tensor.NewRNG(9), 1, 4, 4)}
+	ex1, _ := NewExecutor(d, w)
+	ex2, _ := NewExecutor(opt, w)
+	x := tensor.RandUniform(tensor.NewRNG(4), 1, 3, 4)
+	out1, _ := ex1.Run(map[string]*tensor.Tensor{"x": x})
+	out2, _ := ex2.Run(map[string]*tensor.Tensor{"x": x})
+	if !out1["sum"].AllClose(out2["sum"], 1e-6) {
+		t.Fatal("CSE changed the result")
+	}
+}
+
+func TestOptimizeDistinguishesAttrs(t *testing.T) {
+	// Two slices of the same tensor with different ranges must NOT merge.
+	d := &CellDef{
+		Name:    "slices",
+		Inputs:  []TensorSpec{{Name: "x", Shape: []int{4}}},
+		Outputs: []string{"joined"},
+		Nodes: []NodeDef{
+			{Name: "lo", Op: OpSliceCols, Inputs: []string{"x"}, Attrs: map[string]int{"begin": 0, "end": 2}},
+			{Name: "hi", Op: OpSliceCols, Inputs: []string{"x"}, Attrs: map[string]int{"begin": 2, "end": 4}},
+			{Name: "joined", Op: OpConcatCols, Inputs: []string{"hi", "lo"}},
+		},
+	}
+	opt, elim, err := d.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elim.MergedNodes != 0 || len(opt.Nodes) != 3 {
+		t.Fatalf("wrongly merged attr-distinct nodes: %+v", elim)
+	}
+}
+
+func TestOptimizeLSTMDefIsAlreadyMinimal(t *testing.T) {
+	// The hand-written cell definitions carry no dead or duplicate nodes.
+	d := simpleDef()
+	opt, elim, err := d.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elim.DeadNodes != 0 || elim.MergedNodes != 0 || len(opt.Nodes) != len(d.Nodes) {
+		t.Fatalf("unexpected eliminations: %+v", elim)
+	}
+}
+
+func TestOptimizeOutputAliasSurvivesMerge(t *testing.T) {
+	// An output that names a merged-away node must be rewritten to the
+	// survivor.
+	d := &CellDef{
+		Name:    "alias",
+		Inputs:  []TensorSpec{{Name: "x", Shape: []int{2}}},
+		Outputs: []string{"b"},
+		Nodes: []NodeDef{
+			{Name: "a", Op: OpTanh, Inputs: []string{"x"}},
+			{Name: "b", Op: OpTanh, Inputs: []string{"x"}},
+		},
+	}
+	opt, elim, err := d.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elim.MergedNodes != 1 || opt.Outputs[0] != "a" {
+		t.Fatalf("merge alias broken: %+v outputs=%v", elim, opt.Outputs)
+	}
+}
+
+func TestOptimizeRejectsInvalid(t *testing.T) {
+	bad := simpleDef()
+	bad.Outputs = []string{"nope"}
+	if _, _, err := bad.Optimize(); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simpleDef().WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"digraph", `"x" ->`, "matmul", "peripheries=2"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("dot output missing %q:\n%s", needle, out)
+		}
+	}
+	bad := simpleDef()
+	bad.Outputs = nil
+	if err := bad.WriteDot(&buf); err == nil {
+		t.Fatal("want validation error")
+	}
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"batchmaker/internal/tensor"
+)
+
+// Serialization of cells and weights. §6 of the paper: "Upon startup,
+// BatchMaker loads each cell's definition and its pre-trained weights from
+// files." The definition travels as JSON (see CellDef.ToJSON); weights use
+// a compact little-endian binary format; SaveCell/LoadCell bundle both into
+// one self-describing stream.
+//
+// Weight blob layout:
+//
+//	magic "BMW1" | uint32 count | count × {
+//	    uint32 nameLen | name | uint32 rank | rank × uint32 dims | float32 data
+//	}
+const weightsMagic = "BMW1"
+
+// maxSaneDim bounds deserialized dimensions to catch corrupt streams before
+// attempting huge allocations.
+const maxSaneDim = 1 << 28
+
+// SaveWeights writes the weight map in the binary format. Names are written
+// in sorted order so the output is deterministic.
+func SaveWeights(w io.Writer, weights Weights) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(weightsMagic); err != nil {
+		return fmt.Errorf("graph: writing weights: %w", err)
+	}
+	names := sortedNames(weights)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return fmt.Errorf("graph: writing weights: %w", err)
+	}
+	for _, name := range names {
+		t := weights[name]
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		shape := t.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		data := t.Data()
+		buf := make([]byte, 4*len(data))
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights reads a weight map written by SaveWeights.
+func LoadWeights(r io.Reader) (Weights, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(weightsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading weights header: %w", err)
+	}
+	if string(magic) != weightsMagic {
+		return nil, fmt.Errorf("graph: bad weights magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("graph: reading weight count: %w", err)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("graph: implausible weight count %d", count)
+	}
+	weights := make(Weights, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("graph: reading weight %d: %w", i, err)
+		}
+		if nameLen == 0 || nameLen > 4096 {
+			return nil, fmt.Errorf("graph: implausible weight name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("graph: reading weight %d name: %w", i, err)
+		}
+		name := string(nameBuf)
+		if _, dup := weights[name]; dup {
+			return nil, fmt.Errorf("graph: duplicate weight %q", name)
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return nil, fmt.Errorf("graph: reading weight %q rank: %w", name, err)
+		}
+		if rank > 8 {
+			return nil, fmt.Errorf("graph: implausible rank %d for weight %q", rank, name)
+		}
+		shape := make([]int, rank)
+		size := 1
+		for j := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return nil, fmt.Errorf("graph: reading weight %q shape: %w", name, err)
+			}
+			if d > maxSaneDim {
+				return nil, fmt.Errorf("graph: implausible dimension %d in weight %q", d, name)
+			}
+			shape[j] = int(d)
+			size *= int(d)
+		}
+		if size > maxSaneDim {
+			return nil, fmt.Errorf("graph: implausible size %d for weight %q", size, name)
+		}
+		buf := make([]byte, 4*size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading weight %q data: %w", name, err)
+		}
+		data := make([]float32, size)
+		for j := range data {
+			data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		weights[name] = tensor.FromSlice(data, shape...)
+	}
+	return weights, nil
+}
+
+// cellBundleHeader prefixes a SaveCell stream.
+type cellBundleHeader struct {
+	Magic   string `json:"magic"` // "BMCELL1"
+	DefSize int    `json:"def_size"`
+}
+
+const cellMagic = "BMCELL1"
+
+// SaveCell bundles a cell definition (JSON) and its weights (binary) into
+// one stream: a JSON header line, the definition, then the weight blob.
+func SaveCell(w io.Writer, def *CellDef, weights Weights) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	for _, p := range def.Params {
+		t, ok := weights[p.Name]
+		if !ok {
+			return fmt.Errorf("graph: SaveCell: missing weight %q", p.Name)
+		}
+		if !shapeEq(t.Shape(), p.Shape) {
+			return fmt.Errorf("graph: SaveCell: weight %q shape %v != declared %v", p.Name, t.Shape(), p.Shape)
+		}
+	}
+	defJSON, err := def.ToJSON()
+	if err != nil {
+		return err
+	}
+	header, err := json.Marshal(cellBundleHeader{Magic: cellMagic, DefSize: len(defJSON)})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(header, '\n')); err != nil {
+		return err
+	}
+	if _, err := w.Write(defJSON); err != nil {
+		return err
+	}
+	return SaveWeights(w, weights)
+}
+
+// LoadCell reads a bundle written by SaveCell and returns the validated
+// definition and weights.
+func LoadCell(r io.Reader) (*CellDef, Weights, error) {
+	br := bufio.NewReader(r)
+	headerLine, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: reading cell header: %w", err)
+	}
+	var header cellBundleHeader
+	if err := json.Unmarshal(headerLine, &header); err != nil {
+		return nil, nil, fmt.Errorf("graph: parsing cell header: %w", err)
+	}
+	if header.Magic != cellMagic {
+		return nil, nil, fmt.Errorf("graph: bad cell magic %q", header.Magic)
+	}
+	if header.DefSize <= 0 || header.DefSize > 1<<24 {
+		return nil, nil, fmt.Errorf("graph: implausible definition size %d", header.DefSize)
+	}
+	defJSON := make([]byte, header.DefSize)
+	if _, err := io.ReadFull(br, defJSON); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading cell definition: %w", err)
+	}
+	def, err := FromJSON(defJSON)
+	if err != nil {
+		return nil, nil, err
+	}
+	weights, err := LoadWeights(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range def.Params {
+		t, ok := weights[p.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("graph: loaded cell %q missing weight %q", def.Name, p.Name)
+		}
+		if !shapeEq(t.Shape(), p.Shape) {
+			return nil, nil, fmt.Errorf("graph: loaded weight %q shape %v != declared %v", p.Name, t.Shape(), p.Shape)
+		}
+	}
+	return def, weights, nil
+}
+
+func sortedNames(w Weights) []string {
+	names := make([]string, 0, len(w))
+	for name := range w {
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return names
+}

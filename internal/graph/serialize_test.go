@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"batchmaker/internal/tensor"
+)
+
+func TestWeightsRoundTrip(t *testing.T) {
+	w := simpleWeights()
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWeights(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(w) {
+		t.Fatalf("weights = %d, want %d", len(back), len(w))
+	}
+	for name, orig := range w {
+		if !back[name].Equal(orig) {
+			t.Fatalf("weight %q changed in round trip", name)
+		}
+	}
+}
+
+func TestWeightsSaveDeterministic(t *testing.T) {
+	w := simpleWeights()
+	var a, b bytes.Buffer
+	if err := SaveWeights(&a, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWeights(&b, w); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("SaveWeights must be deterministic")
+	}
+}
+
+func TestLoadWeightsRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, simpleWeights()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte("XXXX"), good[4:]...)
+	if _, err := LoadWeights(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+	// Truncated data.
+	if _, err := LoadWeights(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Fatal("want truncation error")
+	}
+	// Empty stream.
+	if _, err := LoadWeights(bytes.NewReader(nil)); err == nil {
+		t.Fatal("want header error")
+	}
+	// Implausible count.
+	evil := append([]byte(nil), good[:4]...)
+	evil = append(evil, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := LoadWeights(bytes.NewReader(evil)); err == nil {
+		t.Fatal("want count error")
+	}
+}
+
+func TestCellBundleRoundTrip(t *testing.T) {
+	def := simpleDef()
+	w := simpleWeights()
+	var buf bytes.Buffer
+	if err := SaveCell(&buf, def, w); err != nil {
+		t.Fatal(err)
+	}
+	backDef, backW, err := LoadCell(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backDef.Name != def.Name || len(backDef.Nodes) != len(def.Nodes) {
+		t.Fatalf("definition changed: %+v", backDef)
+	}
+	// The loaded cell must be executable and compute the same function.
+	ex1, err := NewExecutor(def, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := NewExecutor(backDef, backW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float32{1, -2, 3, 0.5}, 1, 4)
+	out1, err := ex1.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := ex2.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out1["act"].Equal(out2["act"]) {
+		t.Fatal("loaded cell computes differently")
+	}
+	// Type identity is preserved: same def + same weights = same type key.
+	if ex1.TypeKey() != ex2.TypeKey() {
+		t.Fatal("type key changed across save/load")
+	}
+}
+
+func TestSaveCellValidates(t *testing.T) {
+	def := simpleDef()
+	w := simpleWeights()
+	var buf bytes.Buffer
+	delete(w, "b")
+	if err := SaveCell(&buf, def, w); err == nil || !strings.Contains(err.Error(), "missing weight") {
+		t.Fatalf("want missing-weight error, got %v", err)
+	}
+	w = simpleWeights()
+	w["b"] = tensor.New(7)
+	if err := SaveCell(&buf, def, w); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("want shape error, got %v", err)
+	}
+	bad := simpleDef()
+	bad.Outputs = nil
+	if err := SaveCell(&buf, bad, simpleWeights()); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestLoadCellRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadCell(strings.NewReader("not a header\n")); err == nil {
+		t.Fatal("want header error")
+	}
+	if _, _, err := LoadCell(strings.NewReader(`{"magic":"NOPE","def_size":4}` + "\nabcd")); err == nil {
+		t.Fatal("want magic error")
+	}
+	if _, _, err := LoadCell(strings.NewReader(`{"magic":"BMCELL1","def_size":-1}` + "\n")); err == nil {
+		t.Fatal("want size error")
+	}
+}
+
+func TestPropWeightsRoundTripArbitraryShapes(t *testing.T) {
+	f := func(seed uint64, r1, c1, r2 uint8) bool {
+		rng := tensor.NewRNG(seed)
+		w := Weights{
+			"a": tensor.RandUniform(rng, 3, int(r1%9)+1, int(c1%9)+1),
+			"b": tensor.RandUniform(rng, 3, int(r2%9)+1),
+			"c": tensor.New(int(r1 % 4)), // possibly empty tensor
+		}
+		var buf bytes.Buffer
+		if err := SaveWeights(&buf, w); err != nil {
+			return false
+		}
+		back, err := LoadWeights(&buf)
+		if err != nil {
+			return false
+		}
+		for name, orig := range w {
+			if !back[name].Equal(orig) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

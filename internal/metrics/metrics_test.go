@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderPercentiles(t *testing.T) {
+	var r Recorder
+	for i := 1; i <= 100; i++ {
+		r.Add(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if got := r.P50(); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := r.P90(); got != 90*time.Millisecond {
+		t.Fatalf("p90 = %v", got)
+	}
+	if got := r.P99(); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := r.Min(); got != 1*time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := r.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := r.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	var r Recorder
+	if r.P50() != 0 || r.Mean() != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Fatal("empty recorder must return zeros")
+	}
+	if r.CDF(10) != nil {
+		t.Fatal("empty CDF must be nil")
+	}
+}
+
+func TestRecorderAddAfterQueryResorts(t *testing.T) {
+	var r Recorder
+	r.Add(5 * time.Millisecond)
+	_ = r.P50()
+	r.Add(1 * time.Millisecond)
+	if got := r.Min(); got != 1*time.Millisecond {
+		t.Fatalf("min after re-add = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	var r Recorder
+	r.Add(time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	r.Percentile(0)
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Recorder
+		for _, v := range raw {
+			r.Add(time.Duration(v) * time.Microsecond)
+		}
+		pts := r.CDF(8)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+				return false
+			}
+		}
+		return len(pts) > 0 && pts[len(pts)-1].Fraction == 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestStatsBreakdown(t *testing.T) {
+	s := RequestStats{
+		Arrival:    10 * time.Millisecond,
+		FirstExec:  14 * time.Millisecond,
+		Completion: 30 * time.Millisecond,
+	}
+	if s.Queuing() != 4*time.Millisecond {
+		t.Fatalf("queuing = %v", s.Queuing())
+	}
+	if s.Computation() != 16*time.Millisecond {
+		t.Fatalf("computation = %v", s.Computation())
+	}
+	if s.Latency() != 20*time.Millisecond {
+		t.Fatalf("latency = %v", s.Latency())
+	}
+}
+
+func TestRunResultThroughputAndRow(t *testing.T) {
+	r := RunResult{System: "batchmaker", OfferedQPS: 1000, Duration: 2 * time.Second, Completed: 1500}
+	if got := r.Throughput(); got != 750 {
+		t.Fatalf("throughput = %v", got)
+	}
+	r.Latency.Add(10 * time.Millisecond)
+	if row := r.Row(); row == "" {
+		t.Fatal("empty row")
+	}
+	zero := RunResult{}
+	if zero.Throughput() != 0 {
+		t.Fatal("zero-duration throughput must be 0")
+	}
+}
+
+func TestMsHelper(t *testing.T) {
+	if Ms(1500*time.Microsecond) != 1.5 {
+		t.Fatalf("Ms = %v", Ms(1500*time.Microsecond))
+	}
+}

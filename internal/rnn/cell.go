@@ -1,0 +1,60 @@
+// Package rnn implements the RNN cells used by the paper's three evaluation
+// applications — LSTM chains, Seq2Seq encoder/decoder, and TreeLSTM — plus a
+// GRU cell as an extension.
+//
+// Each cell is a batched computation unit with shared weights: the "cell" of
+// cellular batching (§3.1). A cell executes one recursion step for a batch of
+// b independent requests; all tensors carry the batch dimension first. Every
+// cell also exports its dataflow-graph definition (graph.CellDef) and weight
+// map, which is the user interface the paper describes (§4.1): cells arrive
+// as JSON dataflow graphs exported from a training framework.
+package rnn
+
+import (
+	"fmt"
+
+	"batchmaker/internal/graph"
+	"batchmaker/internal/tensor"
+)
+
+// Cell is a batched RNN computation unit. Implementations are safe for
+// concurrent Step calls because Step never mutates the weights.
+type Cell interface {
+	// Name is a short human-readable identifier ("lstm", "decoder", ...).
+	Name() string
+	// TypeKey identifies the cell type: cells with equal keys have identical
+	// subgraphs, shared weights and identically-shaped inputs, and may be
+	// batched together (§3.1).
+	TypeKey() string
+	// InputNames lists the tensors Step expects.
+	InputNames() []string
+	// OutputNames lists the tensors Step produces.
+	OutputNames() []string
+	// Step executes one batched invocation. Every input must have the same
+	// leading batch dimension. It returns freshly allocated outputs.
+	Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+}
+
+// DefExporter is implemented by cells that can export their dataflow-graph
+// definition and weights for the JSON user interface and for equivalence
+// testing against the graph interpreter.
+type DefExporter interface {
+	Def() *graph.CellDef
+	Weights() graph.Weights
+}
+
+func batchOf(inputs map[string]*tensor.Tensor, names []string) (int, error) {
+	b := -1
+	for _, n := range names {
+		t, ok := inputs[n]
+		if !ok {
+			return 0, fmt.Errorf("rnn: missing input %q", n)
+		}
+		if b == -1 {
+			b = t.Dim(0)
+		} else if t.Dim(0) != b {
+			return 0, fmt.Errorf("rnn: input %q batch %d != %d", n, t.Dim(0), b)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,171 @@
+package rnn
+
+import (
+	"fmt"
+
+	"batchmaker/internal/graph"
+	"batchmaker/internal/tensor"
+)
+
+// LSTMCell is the standard Long Short-Term Memory cell (Hochreiter &
+// Schmidhuber) in the fused formulation the paper microbenchmarks (§2.2):
+// one matrix multiplication with input [b, in+h] @ W [in+h, 4h], followed by
+// element-wise gate operations:
+//
+//	i, f, g, o = split(σ/tanh([x, h] @ W + bias))
+//	c' = f*c + i*g
+//	h' = o * tanh(c')
+//
+// Inputs: "x" [b, in], "h" [b, h], "c" [b, h]. Outputs: "h", "c".
+type LSTMCell struct {
+	name    string
+	inDim   int
+	hidden  int
+	w       *tensor.Tensor // [in+h, 4h]
+	bias    *tensor.Tensor // [4h]
+	typeKey string
+}
+
+// NewLSTMCell creates an LSTM cell with Xavier-initialized weights and the
+// forget-gate bias set to 1 (the standard trick so freshly initialized cells
+// retain state).
+func NewLSTMCell(name string, inDim, hidden int, rng *tensor.RNG) *LSTMCell {
+	if inDim <= 0 || hidden <= 0 {
+		panic(fmt.Sprintf("rnn: invalid LSTM dims in=%d hidden=%d", inDim, hidden))
+	}
+	c := &LSTMCell{
+		name:   name,
+		inDim:  inDim,
+		hidden: hidden,
+		w:      tensor.XavierInit(rng, inDim+hidden, 4*hidden),
+		bias:   tensor.New(4 * hidden),
+	}
+	for j := hidden; j < 2*hidden; j++ { // forget-gate slice
+		c.bias.Set(1, j)
+	}
+	c.typeKey = c.Def().TypeKey(c.Weights().Fingerprint())
+	return c
+}
+
+// Name implements Cell.
+func (c *LSTMCell) Name() string { return c.name }
+
+// TypeKey implements Cell.
+func (c *LSTMCell) TypeKey() string { return c.typeKey }
+
+// InputNames implements Cell.
+func (c *LSTMCell) InputNames() []string { return []string{"x", "h", "c"} }
+
+// OutputNames implements Cell.
+func (c *LSTMCell) OutputNames() []string { return []string{"h", "c"} }
+
+// InDim returns the input embedding width.
+func (c *LSTMCell) InDim() int { return c.inDim }
+
+// Hidden returns the hidden-state width.
+func (c *LSTMCell) Hidden() int { return c.hidden }
+
+// Step implements Cell with the fused fast path.
+func (c *LSTMCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.name, err)
+	}
+	x, h, cc := inputs["x"], inputs["h"], inputs["c"]
+	if x.Dim(1) != c.inDim || h.Dim(1) != c.hidden || cc.Dim(1) != c.hidden {
+		return nil, fmt.Errorf("rnn: %s: bad input widths x=%v h=%v c=%v", c.name, x.Shape(), h.Shape(), cc.Shape())
+	}
+	xh := tensor.ConcatCols(x, h)
+	gates := tensor.MatMulAddBias(xh, c.w, c.bias)
+	hNew := tensor.New(b, c.hidden)
+	cNew := tensor.New(b, c.hidden)
+	applyLSTMGates(gates, cc, hNew, cNew, c.hidden)
+	return map[string]*tensor.Tensor{"h": hNew, "c": cNew}, nil
+}
+
+// applyLSTMGates consumes fused pre-activations [b, 4h] laid out as
+// [i | f | g | o] and writes the new hidden and cell states.
+func applyLSTMGates(gates, cPrev, hNew, cNew *tensor.Tensor, hidden int) {
+	b := gates.Dim(0)
+	for r := 0; r < b; r++ {
+		g := gates.RowSlice(r)
+		cp := cPrev.RowSlice(r)
+		hn := hNew.RowSlice(r)
+		cn := cNew.RowSlice(r)
+		for j := 0; j < hidden; j++ {
+			i := sigmoid32(g[j])
+			f := sigmoid32(g[hidden+j])
+			gg := tanh32(g[2*hidden+j])
+			o := sigmoid32(g[3*hidden+j])
+			cn[j] = f*cp[j] + i*gg
+			hn[j] = o * tanh32(cn[j])
+		}
+	}
+}
+
+// Def implements DefExporter: the same computation expressed as a dataflow
+// graph for the interpreter.
+func (c *LSTMCell) Def() *graph.CellDef {
+	h := c.hidden
+	return &graph.CellDef{
+		Name: c.name,
+		Inputs: []graph.TensorSpec{
+			{Name: "x", Shape: []int{c.inDim}},
+			{Name: "h", Shape: []int{h}},
+			{Name: "c", Shape: []int{h}},
+		},
+		Params: []graph.TensorSpec{
+			{Name: "w", Shape: []int{c.inDim + h, 4 * h}},
+			{Name: "bias", Shape: []int{4 * h}},
+		},
+		Outputs: []string{"h_new", "c_new"},
+		Nodes: []graph.NodeDef{
+			{Name: "xh", Op: graph.OpConcatCols, Inputs: []string{"x", "h"}},
+			{Name: "mm", Op: graph.OpMatMul, Inputs: []string{"xh", "w"}},
+			{Name: "gates", Op: graph.OpAddBias, Inputs: []string{"mm", "bias"}},
+			{Name: "pre_i", Op: graph.OpSliceCols, Inputs: []string{"gates"}, Attrs: map[string]int{"begin": 0, "end": h}},
+			{Name: "pre_f", Op: graph.OpSliceCols, Inputs: []string{"gates"}, Attrs: map[string]int{"begin": h, "end": 2 * h}},
+			{Name: "pre_g", Op: graph.OpSliceCols, Inputs: []string{"gates"}, Attrs: map[string]int{"begin": 2 * h, "end": 3 * h}},
+			{Name: "pre_o", Op: graph.OpSliceCols, Inputs: []string{"gates"}, Attrs: map[string]int{"begin": 3 * h, "end": 4 * h}},
+			{Name: "gate_i", Op: graph.OpSigmoid, Inputs: []string{"pre_i"}},
+			{Name: "gate_f", Op: graph.OpSigmoid, Inputs: []string{"pre_f"}},
+			{Name: "gate_g", Op: graph.OpTanh, Inputs: []string{"pre_g"}},
+			{Name: "gate_o", Op: graph.OpSigmoid, Inputs: []string{"pre_o"}},
+			{Name: "forgotten", Op: graph.OpMul, Inputs: []string{"gate_f", "c"}},
+			{Name: "written", Op: graph.OpMul, Inputs: []string{"gate_i", "gate_g"}},
+			{Name: "c_new", Op: graph.OpAdd, Inputs: []string{"forgotten", "written"}},
+			{Name: "c_act", Op: graph.OpTanh, Inputs: []string{"c_new"}},
+			{Name: "h_new", Op: graph.OpMul, Inputs: []string{"gate_o", "c_act"}},
+		},
+	}
+}
+
+// Weights implements DefExporter.
+func (c *LSTMCell) Weights() graph.Weights {
+	return graph.Weights{"w": c.w, "bias": c.bias}
+}
+
+// StepRef is a deliberately naive single-example reference implementation
+// (no fusion, no batching) used by tests to validate Step.
+func (c *LSTMCell) StepRef(x, h, cc []float32) (hNew, cNew []float32) {
+	hNew = make([]float32, c.hidden)
+	cNew = make([]float32, c.hidden)
+	pre := make([]float32, 4*c.hidden)
+	xh := append(append([]float32{}, x...), h...)
+	for j := 0; j < 4*c.hidden; j++ {
+		s := c.bias.Data()[j]
+		for k, v := range xh {
+			s += v * c.w.At(k, j)
+		}
+		pre[j] = s
+	}
+	for j := 0; j < c.hidden; j++ {
+		i := sigmoid32(pre[j])
+		f := sigmoid32(pre[c.hidden+j])
+		g := tanh32(pre[2*c.hidden+j])
+		o := sigmoid32(pre[3*c.hidden+j])
+		cNew[j] = f*cc[j] + i*g
+		hNew[j] = o * tanh32(cNew[j])
+	}
+	return hNew, cNew
+}

@@ -1,0 +1,230 @@
+package rnn
+
+import (
+	"fmt"
+
+	"batchmaker/internal/graph"
+	"batchmaker/internal/tensor"
+)
+
+// Special vocabulary symbols used by the Seq2Seq decoder, matching the
+// paper's Figure 12: the first decoder step consumes <go>, and decoding
+// stops when <eos> is produced (or the maximum decode length is reached).
+const (
+	TokenGo  = 0
+	TokenEOS = 1
+)
+
+// EncoderCell is the Seq2Seq encoder cell: an embedding lookup feeding an
+// LSTM. Inputs: "ids" [b,1] (float-encoded word ids), "h" [b,h], "c" [b,h].
+// Outputs: "h", "c". Encoder and decoder cells do not share weights (§7.4),
+// so they are distinct cell types.
+type EncoderCell struct {
+	name    string
+	vocab   int
+	embed   *tensor.Tensor // [V, e]
+	lstm    *LSTMCell
+	typeKey string
+}
+
+// NewEncoderCell builds an encoder over a vocabulary of size vocab with
+// embedding width embedDim and hidden width hidden.
+func NewEncoderCell(name string, vocab, embedDim, hidden int, rng *tensor.RNG) *EncoderCell {
+	if vocab <= 2 {
+		panic("rnn: vocabulary must be larger than the reserved symbols")
+	}
+	c := &EncoderCell{
+		name:  name,
+		vocab: vocab,
+		embed: tensor.RandNormal(rng, 0.1, vocab, embedDim),
+		lstm:  NewLSTMCell(name+"_lstm", embedDim, hidden, rng),
+	}
+	c.typeKey = c.Def().TypeKey(c.Weights().Fingerprint())
+	return c
+}
+
+// Name implements Cell.
+func (c *EncoderCell) Name() string { return c.name }
+
+// TypeKey implements Cell.
+func (c *EncoderCell) TypeKey() string { return c.typeKey }
+
+// InputNames implements Cell.
+func (c *EncoderCell) InputNames() []string { return []string{"ids", "h", "c"} }
+
+// OutputNames implements Cell.
+func (c *EncoderCell) OutputNames() []string { return []string{"h", "c"} }
+
+// Hidden returns the hidden width.
+func (c *EncoderCell) Hidden() int { return c.lstm.hidden }
+
+// Vocab returns the vocabulary size.
+func (c *EncoderCell) Vocab() int { return c.vocab }
+
+// Step implements Cell.
+func (c *EncoderCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if _, err := batchOf(inputs, c.InputNames()); err != nil {
+		return nil, fmt.Errorf("%s: %w", c.name, err)
+	}
+	x, err := embedLookup(c.embed, inputs["ids"], c.name)
+	if err != nil {
+		return nil, err
+	}
+	return c.lstm.Step(map[string]*tensor.Tensor{"x": x, "h": inputs["h"], "c": inputs["c"]})
+}
+
+// Def implements DefExporter.
+func (c *EncoderCell) Def() *graph.CellDef {
+	inner := c.lstm.Def()
+	def := &graph.CellDef{
+		Name: c.name,
+		Inputs: []graph.TensorSpec{
+			{Name: "ids", Shape: []int{1}},
+			{Name: "h", Shape: []int{c.lstm.hidden}},
+			{Name: "c", Shape: []int{c.lstm.hidden}},
+		},
+		Params: append([]graph.TensorSpec{
+			{Name: "embed", Shape: []int{c.vocab, c.lstm.inDim}},
+		}, inner.Params...),
+		Outputs: inner.Outputs,
+		Nodes: append([]graph.NodeDef{
+			{Name: "x", Op: graph.OpEmbed, Inputs: []string{"ids", "embed"}},
+		}, inner.Nodes...),
+	}
+	return def
+}
+
+// Weights implements DefExporter.
+func (c *EncoderCell) Weights() graph.Weights {
+	w := c.lstm.Weights()
+	w["embed"] = c.embed
+	return w
+}
+
+// DecoderCell is the Seq2Seq "feed previous" decoder cell (Figure 12): an
+// embedding lookup of the previously emitted word, an LSTM step, and an
+// output projection to the vocabulary followed by argmax. The projection is
+// the large matmul ([b,h] @ [h,V]) that makes decoding ~75% of Seq2Seq
+// compute (§7.4).
+//
+// Inputs: "ids" [b,1] (previous word; <go> on the first step), "h", "c".
+// Outputs: "h", "c", "word" [b,1] (the emitted word id, float-encoded).
+type DecoderCell struct {
+	name     string
+	vocab    int
+	embed    *tensor.Tensor // [V, e]
+	lstm     *LSTMCell
+	proj     *tensor.Tensor // [h, V]
+	projBias *tensor.Tensor // [V]
+	typeKey  string
+}
+
+// NewDecoderCell builds a decoder cell.
+func NewDecoderCell(name string, vocab, embedDim, hidden int, rng *tensor.RNG) *DecoderCell {
+	if vocab <= 2 {
+		panic("rnn: vocabulary must be larger than the reserved symbols")
+	}
+	c := &DecoderCell{
+		name:     name,
+		vocab:    vocab,
+		embed:    tensor.RandNormal(rng, 0.1, vocab, embedDim),
+		lstm:     NewLSTMCell(name+"_lstm", embedDim, hidden, rng),
+		proj:     tensor.XavierInit(rng, hidden, vocab),
+		projBias: tensor.New(vocab),
+	}
+	c.typeKey = c.Def().TypeKey(c.Weights().Fingerprint())
+	return c
+}
+
+// Name implements Cell.
+func (c *DecoderCell) Name() string { return c.name }
+
+// TypeKey implements Cell.
+func (c *DecoderCell) TypeKey() string { return c.typeKey }
+
+// InputNames implements Cell.
+func (c *DecoderCell) InputNames() []string { return []string{"ids", "h", "c"} }
+
+// OutputNames implements Cell. Beyond the recurrent state and the argmax
+// word, the raw vocabulary logits are exposed so callers can implement
+// richer decoding (beam search, sampling) on top of the same cell.
+func (c *DecoderCell) OutputNames() []string { return []string{"h", "c", "word", "logits"} }
+
+// Hidden returns the hidden width.
+func (c *DecoderCell) Hidden() int { return c.lstm.hidden }
+
+// Vocab returns the vocabulary size.
+func (c *DecoderCell) Vocab() int { return c.vocab }
+
+// Step implements Cell.
+func (c *DecoderCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if _, err := batchOf(inputs, c.InputNames()); err != nil {
+		return nil, fmt.Errorf("%s: %w", c.name, err)
+	}
+	x, err := embedLookup(c.embed, inputs["ids"], c.name)
+	if err != nil {
+		return nil, err
+	}
+	hc, err := c.lstm.Step(map[string]*tensor.Tensor{"x": x, "h": inputs["h"], "c": inputs["c"]})
+	if err != nil {
+		return nil, err
+	}
+	logits := tensor.MatMulAddBias(hc["h"], c.proj, c.projBias)
+	am := tensor.Argmax(logits)
+	word := tensor.New(len(am), 1)
+	for i, v := range am {
+		word.Set(float32(v), i, 0)
+	}
+	return map[string]*tensor.Tensor{"h": hc["h"], "c": hc["c"], "word": word, "logits": logits}, nil
+}
+
+// Def implements DefExporter.
+func (c *DecoderCell) Def() *graph.CellDef {
+	inner := c.lstm.Def()
+	def := &graph.CellDef{
+		Name: c.name,
+		Inputs: []graph.TensorSpec{
+			{Name: "ids", Shape: []int{1}},
+			{Name: "h", Shape: []int{c.lstm.hidden}},
+			{Name: "c", Shape: []int{c.lstm.hidden}},
+		},
+		Params: append([]graph.TensorSpec{
+			{Name: "embed", Shape: []int{c.vocab, c.lstm.inDim}},
+			{Name: "proj", Shape: []int{c.lstm.hidden, c.vocab}},
+			{Name: "proj_bias", Shape: []int{c.vocab}},
+		}, inner.Params...),
+		Outputs: []string{"h_new", "c_new", "word", "logits"},
+		Nodes: append(append([]graph.NodeDef{
+			{Name: "x", Op: graph.OpEmbed, Inputs: []string{"ids", "embed"}},
+		}, inner.Nodes...),
+			graph.NodeDef{Name: "proj_mm", Op: graph.OpMatMul, Inputs: []string{"h_new", "proj"}},
+			graph.NodeDef{Name: "logits", Op: graph.OpAddBias, Inputs: []string{"proj_mm", "proj_bias"}},
+			graph.NodeDef{Name: "word", Op: graph.OpArgmaxCast, Inputs: []string{"logits"}},
+		),
+	}
+	return def
+}
+
+// Weights implements DefExporter.
+func (c *DecoderCell) Weights() graph.Weights {
+	w := c.lstm.Weights()
+	w["embed"] = c.embed
+	w["proj"] = c.proj
+	w["proj_bias"] = c.projBias
+	return w
+}
+
+func embedLookup(table, ids *tensor.Tensor, cell string) (*tensor.Tensor, error) {
+	if ids.Rank() != 2 || ids.Dim(1) != 1 {
+		return nil, fmt.Errorf("rnn: %s: ids must be [b,1], got %v", cell, ids.Shape())
+	}
+	idx := make([]int, ids.Dim(0))
+	for i := range idx {
+		v := int(ids.At(i, 0))
+		if v < 0 || v >= table.Dim(0) {
+			return nil, fmt.Errorf("rnn: %s: word id %d out of vocabulary [0,%d)", cell, v, table.Dim(0))
+		}
+		idx[i] = v
+	}
+	return tensor.GatherRows(table, idx), nil
+}

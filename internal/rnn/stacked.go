@@ -1,0 +1,203 @@
+package rnn
+
+import (
+	"fmt"
+
+	"batchmaker/internal/graph"
+	"batchmaker/internal/tensor"
+)
+
+// Recurrent is a cell whose inputs other than "x" are recurrent state,
+// carried to the next invocation from identically named outputs. Chain
+// unfolding (cellgraph.UnfoldRecurrent) works for any such cell.
+type Recurrent interface {
+	Cell
+	// StateWidths maps each recurrent state name to its width. Every state
+	// name appears in both InputNames and OutputNames.
+	StateWidths() map[string]int
+	// XWidth is the width of the per-step input "x".
+	XWidth() int
+}
+
+// StackedLSTMCell stacks L LSTM layers into one cell: layer 0 consumes the
+// step input x, and each higher layer consumes the hidden output of the
+// layer below. The whole stack is a single batching unit — the paper's
+// observation that "a complex cell such as LSTM not only contains many
+// operators but also its own internal recursion" (§3.1) applied to depth.
+//
+// Inputs: "x" [b,in], "h0".."h<L-1>", "c0".."c<L-1>" (each [b,h]).
+// Outputs: the new per-layer states under the same names.
+type StackedLSTMCell struct {
+	name    string
+	layers  []*LSTMCell
+	typeKey string
+}
+
+// NewStackedLSTMCell builds an L-layer stack with Xavier-initialized
+// weights. Layer 0 has input width inDim; higher layers take the hidden
+// width as input.
+func NewStackedLSTMCell(name string, inDim, hidden, layers int, rng *tensor.RNG) *StackedLSTMCell {
+	if layers <= 0 {
+		panic(fmt.Sprintf("rnn: stacked LSTM needs at least one layer, got %d", layers))
+	}
+	c := &StackedLSTMCell{name: name}
+	for l := 0; l < layers; l++ {
+		in := inDim
+		if l > 0 {
+			in = hidden
+		}
+		c.layers = append(c.layers, NewLSTMCell(fmt.Sprintf("%s_l%d", name, l), in, hidden, rng))
+	}
+	c.typeKey = c.Def().TypeKey(c.Weights().Fingerprint())
+	return c
+}
+
+// Name implements Cell.
+func (c *StackedLSTMCell) Name() string { return c.name }
+
+// TypeKey implements Cell.
+func (c *StackedLSTMCell) TypeKey() string { return c.typeKey }
+
+// Layers returns the stack depth.
+func (c *StackedLSTMCell) Layers() int { return len(c.layers) }
+
+// Hidden returns the hidden width.
+func (c *StackedLSTMCell) Hidden() int { return c.layers[0].Hidden() }
+
+// XWidth implements Recurrent.
+func (c *StackedLSTMCell) XWidth() int { return c.layers[0].InDim() }
+
+// StateWidths implements Recurrent.
+func (c *StackedLSTMCell) StateWidths() map[string]int {
+	m := make(map[string]int, 2*len(c.layers))
+	for l := range c.layers {
+		m[fmt.Sprintf("h%d", l)] = c.Hidden()
+		m[fmt.Sprintf("c%d", l)] = c.Hidden()
+	}
+	return m
+}
+
+// InputNames implements Cell.
+func (c *StackedLSTMCell) InputNames() []string {
+	names := []string{"x"}
+	for l := range c.layers {
+		names = append(names, fmt.Sprintf("h%d", l), fmt.Sprintf("c%d", l))
+	}
+	return names
+}
+
+// OutputNames implements Cell.
+func (c *StackedLSTMCell) OutputNames() []string {
+	var names []string
+	for l := range c.layers {
+		names = append(names, fmt.Sprintf("h%d", l), fmt.Sprintf("c%d", l))
+	}
+	return names
+}
+
+// Step implements Cell: layer l consumes the previous layer's new hidden
+// state as its input.
+func (c *StackedLSTMCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if _, err := batchOf(inputs, c.InputNames()); err != nil {
+		return nil, fmt.Errorf("%s: %w", c.name, err)
+	}
+	x := inputs["x"]
+	out := make(map[string]*tensor.Tensor, 2*len(c.layers))
+	for l, layer := range c.layers {
+		hc, err := layer.Step(map[string]*tensor.Tensor{
+			"x": x,
+			"h": inputs[fmt.Sprintf("h%d", l)],
+			"c": inputs[fmt.Sprintf("c%d", l)],
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("h%d", l)] = hc["h"]
+		out[fmt.Sprintf("c%d", l)] = hc["c"]
+		x = hc["h"]
+	}
+	return out, nil
+}
+
+// Def implements DefExporter by composing the per-layer LSTM definitions
+// with mangled node names.
+func (c *StackedLSTMCell) Def() *graph.CellDef {
+	def := &graph.CellDef{
+		Name:   c.name,
+		Inputs: []graph.TensorSpec{{Name: "x", Shape: []int{c.XWidth()}}},
+	}
+	for l := range c.layers {
+		def.Inputs = append(def.Inputs,
+			graph.TensorSpec{Name: fmt.Sprintf("h%d", l), Shape: []int{c.Hidden()}},
+			graph.TensorSpec{Name: fmt.Sprintf("c%d", l), Shape: []int{c.Hidden()}},
+		)
+	}
+	xName := "x"
+	for l, layer := range c.layers {
+		prefix := fmt.Sprintf("l%d_", l)
+		inner := layer.Def()
+		for _, p := range inner.Params {
+			def.Params = append(def.Params, graph.TensorSpec{Name: prefix + p.Name, Shape: p.Shape})
+		}
+		rename := func(name string) string {
+			switch name {
+			case "x":
+				return xName
+			case "h":
+				return fmt.Sprintf("h%d", l)
+			case "c":
+				return fmt.Sprintf("c%d", l)
+			case "w", "bias":
+				return prefix + name
+			}
+			return prefix + name
+		}
+		for _, n := range inner.Nodes {
+			nn := graph.NodeDef{Name: prefix + n.Name, Op: n.Op, Attrs: n.Attrs}
+			for _, in := range n.Inputs {
+				nn.Inputs = append(nn.Inputs, rename(in))
+			}
+			def.Nodes = append(def.Nodes, nn)
+		}
+		def.Outputs = append(def.Outputs, prefix+"h_new", prefix+"c_new")
+		xName = prefix + "h_new"
+	}
+	return def
+}
+
+// Weights implements DefExporter.
+func (c *StackedLSTMCell) Weights() graph.Weights {
+	w := make(graph.Weights, 2*len(c.layers))
+	for l, layer := range c.layers {
+		lw := layer.Weights()
+		w[fmt.Sprintf("l%d_w", l)] = lw["w"]
+		w[fmt.Sprintf("l%d_bias", l)] = lw["bias"]
+	}
+	return w
+}
+
+// Interface checks for the recurrent cells.
+var (
+	_ Recurrent = (*StackedLSTMCell)(nil)
+)
+
+// StateWidths implements Recurrent for the plain LSTM cell.
+func (c *LSTMCell) StateWidths() map[string]int {
+	return map[string]int{"h": c.hidden, "c": c.hidden}
+}
+
+// XWidth implements Recurrent for the plain LSTM cell.
+func (c *LSTMCell) XWidth() int { return c.inDim }
+
+// StateWidths implements Recurrent for the GRU cell.
+func (c *GRUCell) StateWidths() map[string]int {
+	return map[string]int{"h": c.hidden}
+}
+
+// XWidth implements Recurrent for the GRU cell.
+func (c *GRUCell) XWidth() int { return c.inDim }
+
+var (
+	_ Recurrent = (*LSTMCell)(nil)
+	_ Recurrent = (*GRUCell)(nil)
+)

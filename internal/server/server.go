@@ -1,0 +1,377 @@
+// Package server implements the live BatchMaker serving system: the §4.2
+// architecture (manager = request processor + scheduler; one worker per
+// device) running with real tensor computation on goroutines.
+//
+// Where internal/sim reproduces the paper's performance numbers against a
+// simulated GPU, this package demonstrates the system end to end: requests
+// submitted concurrently are unfolded into cell graphs, their ready cells
+// are dynamically batched across requests by the core scheduler, workers
+// execute the batched cells with real math, and every request's results are
+// bit-identical to unbatched execution (tested) while departing as soon as
+// its last cell finishes.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/core"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/tensor"
+)
+
+// ErrStopped is returned for requests submitted to (or still queued in) a
+// stopped server.
+var ErrStopped = errors.New("server: stopped")
+
+// CellSpec registers one cell type with the server.
+type CellSpec struct {
+	Cell rnn.Cell
+	// MaxBatch is the desired maximum batch size for this type (§4.2,
+	// determined through offline benchmarking).
+	MaxBatch int
+	// MinBatch is the smallest worthwhile follow-up batch (Algorithm 1's
+	// Bsizes.Min(); 0 means 1).
+	MinBatch int
+	// Priority orders types; give later-phase cells higher values.
+	Priority int
+}
+
+// Config configures a Server.
+type Config struct {
+	Cells   []CellSpec
+	Workers int
+	// MaxTasksToSubmit bounds tasks handed to a worker per scheduling
+	// round (default 5).
+	MaxTasksToSubmit int
+	// TraceCapacity, when positive, enables execution tracing with a ring
+	// buffer of that many events (see Trace).
+	TraceCapacity int
+}
+
+type request struct {
+	id      core.RequestID
+	tracker *core.Tracker
+	state   *cellgraph.State
+	done    chan struct{}
+	results map[string]*tensor.Tensor
+	err     error
+}
+
+// Server is a live cellular-batching inference server.
+type Server struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sched   *core.Scheduler
+	cells   map[string]rnn.Cell
+	reqs    map[core.RequestID]*request
+	nextID  core.RequestID
+	stopped bool
+	wg      sync.WaitGroup
+
+	// stats
+	tasksRun  int
+	cellsRun  int
+	batchesBy map[int]int // batch size -> count
+	trace     *traceRing
+}
+
+// New builds and starts a server. Call Stop to shut it down.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("server: Workers must be positive")
+	}
+	if len(cfg.Cells) == 0 {
+		return nil, fmt.Errorf("server: no cells registered")
+	}
+	types := make([]core.TypeConfig, 0, len(cfg.Cells))
+	cells := make(map[string]rnn.Cell, len(cfg.Cells))
+	for _, cs := range cfg.Cells {
+		if cs.Cell == nil {
+			return nil, fmt.Errorf("server: nil cell in config")
+		}
+		key := cs.Cell.TypeKey()
+		if _, dup := cells[key]; dup {
+			return nil, fmt.Errorf("server: duplicate cell type %q", key)
+		}
+		cells[key] = cs.Cell
+		types = append(types, core.TypeConfig{
+			Key:      key,
+			MaxBatch: cs.MaxBatch,
+			MinBatch: cs.MinBatch,
+			Priority: cs.Priority,
+		})
+	}
+	sched, err := core.NewScheduler(core.Config{Types: types, MaxTasksToSubmit: cfg.MaxTasksToSubmit})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		sched:     sched,
+		cells:     cells,
+		reqs:      make(map[core.RequestID]*request),
+		batchesBy: make(map[int]int),
+		trace:     newTraceRing(cfg.TraceCapacity),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker(core.WorkerID(w))
+	}
+	return s, nil
+}
+
+// Stop shuts the server down. In-flight requests are failed with
+// ErrStopped. Stop blocks until all workers exit.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	for _, r := range s.reqs {
+		r.err = ErrStopped
+		close(r.done)
+	}
+	s.reqs = map[core.RequestID]*request{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Handle tracks one asynchronously submitted request.
+type Handle struct {
+	req *request
+}
+
+// Done is closed when the request completes (or fails).
+func (h *Handle) Done() <-chan struct{} { return h.req.done }
+
+// Result returns the request's outputs after Done is closed. Calling it
+// earlier returns an error.
+func (h *Handle) Result() (map[string]*tensor.Tensor, error) {
+	select {
+	case <-h.req.done:
+		return h.req.results, h.req.err
+	default:
+		return nil, errors.New("server: request still in flight")
+	}
+}
+
+// SubmitAsync registers a request's cell graph for execution and returns
+// immediately with a handle. The graph must be valid; nodes must use cell
+// types registered at construction. Enqueueing many requests before waiting
+// lets them join each other's batches even from a single caller goroutine.
+func (s *Server) SubmitAsync(g *cellgraph.Graph) (*Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	for _, n := range g.Nodes {
+		if _, ok := s.cells[n.Cell.TypeKey()]; !ok {
+			return nil, fmt.Errorf("server: cell type %q of node %d not registered", n.Cell.TypeKey(), n.ID)
+		}
+	}
+	state, err := cellgraph.NewState(g)
+	if err != nil {
+		return nil, err
+	}
+	s.nextID++
+	id := s.nextID
+	tracker, err := core.NewTracker(id, g)
+	if err != nil {
+		return nil, err
+	}
+	req := &request{id: id, tracker: tracker, state: state, done: make(chan struct{})}
+	s.reqs[id] = req
+	for _, spec := range tracker.InitialSubgraphs() {
+		if _, err := s.sched.AddSubgraph(spec); err != nil {
+			delete(s.reqs, id)
+			return nil, err
+		}
+	}
+	s.trace.add(Event{At: time.Now(), Kind: EventAdmit, Req: id})
+	s.cond.Broadcast()
+	return &Handle{req: req}, nil
+}
+
+// Submit enqueues a request's cell graph and blocks until its results are
+// ready, the context is cancelled, or the server stops.
+func (s *Server) Submit(ctx context.Context, g *cellgraph.Graph) (map[string]*tensor.Tensor, error) {
+	h, err := s.SubmitAsync(g)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-h.req.done:
+		return h.req.results, h.req.err
+	case <-ctx.Done():
+		// The request keeps executing internally (a batched task cannot be
+		// torn apart), but the caller stops waiting.
+		return nil, ctx.Err()
+	}
+}
+
+// worker is one GPU worker: it asks the scheduler for batched tasks
+// whenever idle and executes them in FIFO order (§4.2).
+func (s *Server) worker(id core.WorkerID) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var tasks []*core.Task
+		for {
+			if s.stopped {
+				s.mu.Unlock()
+				return
+			}
+			tasks = s.sched.Schedule(id)
+			if len(tasks) > 0 {
+				break
+			}
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		for _, task := range tasks {
+			s.execTask(task)
+		}
+	}
+}
+
+// execTask gathers the batched inputs, runs the cell, scatters the outputs
+// and updates dependencies — the worker + request-processor workflow.
+func (s *Server) execTask(task *core.Task) {
+	cell := s.cells[task.TypeKey]
+
+	// Gather: assemble contiguous batched inputs from scattered per-request
+	// rows (the memory-copy step of §4.3).
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	type nodeRef struct {
+		req  *request
+		node cellgraph.NodeID
+	}
+	refs := make([]nodeRef, 0, len(task.Nodes))
+	for _, nr := range task.Nodes {
+		req, ok := s.reqs[nr.Req]
+		if !ok {
+			// The request was failed earlier (e.g. a previous task's Step
+			// error); skip its nodes but keep the rest of the batch.
+			continue
+		}
+		refs = append(refs, nodeRef{req: req, node: nr.Node})
+	}
+	if len(refs) == 0 {
+		if err := s.sched.TaskCompleted(task.ID); err != nil {
+			panic(err)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	inputs := make(map[string]*tensor.Tensor, len(cell.InputNames()))
+	for _, name := range cell.InputNames() {
+		rows := make([]*tensor.Tensor, len(refs))
+		for i, r := range refs {
+			rows[i] = r.req.state.InputRow(r.node, name)
+			r.req.state.MarkIssued(r.node)
+		}
+		inputs[name] = tensor.ConcatRows(rows...)
+	}
+	s.mu.Unlock()
+
+	// Execute outside the lock: this is the GPU kernel.
+	outs, stepErr := cell.Step(inputs)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.tasksRun++
+	s.cellsRun += len(refs)
+	s.batchesBy[len(refs)]++
+	s.trace.add(Event{
+		At: time.Now(), Kind: EventTaskExec,
+		Worker: task.Worker, TypeKey: task.TypeKey, Batch: len(refs),
+	})
+	for i, r := range refs {
+		if stepErr != nil {
+			s.failRequest(r.req, fmt.Errorf("server: executing %s: %w", cell.Name(), stepErr))
+			continue
+		}
+		rowOut := make(map[string]*tensor.Tensor, len(outs))
+		for name, t := range outs {
+			rowOut[name] = tensor.SliceRows(t, i, i+1)
+		}
+		r.req.state.Complete(r.node, rowOut)
+		released, err := r.req.tracker.NodeDone(r.node)
+		if err != nil {
+			s.failRequest(r.req, err)
+			continue
+		}
+		for _, spec := range released {
+			if _, err := s.sched.AddSubgraph(spec); err != nil {
+				s.failRequest(r.req, err)
+			}
+		}
+		if r.req.tracker.Finished() {
+			// Return immediately: the request does not wait for others in
+			// the batch.
+			r.req.results = r.req.state.Results()
+			close(r.req.done)
+			delete(s.reqs, r.req.id)
+			s.trace.add(Event{At: time.Now(), Kind: EventComplete, Req: r.req.id})
+		}
+	}
+	if err := s.sched.TaskCompleted(task.ID); err != nil {
+		// A completion for a task the scheduler does not know indicates a
+		// bug in this package; surface loudly.
+		panic(err)
+	}
+	s.cond.Broadcast()
+}
+
+// failRequest finalizes a request with an error. Caller holds s.mu.
+func (s *Server) failRequest(r *request, err error) {
+	if _, live := s.reqs[r.id]; !live {
+		return
+	}
+	r.err = err
+	close(r.done)
+	delete(s.reqs, r.id)
+	s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
+}
+
+// Stats reports execution counters.
+type Stats struct {
+	TasksRun     int
+	CellsRun     int
+	BatchSizes   map[int]int
+	LiveRequests int
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	by := make(map[int]int, len(s.batchesBy))
+	for k, v := range s.batchesBy {
+		by[k] = v
+	}
+	return Stats{
+		TasksRun:     s.tasksRun,
+		CellsRun:     s.cellsRun,
+		BatchSizes:   by,
+		LiveRequests: len(s.reqs),
+	}
+}

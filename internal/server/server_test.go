@@ -1,0 +1,344 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/tensor"
+)
+
+const (
+	tHidden = 12
+	tEmbed  = 8
+	tVocab  = 40
+)
+
+type testModel struct {
+	lstm     *rnn.LSTMCell
+	enc      *rnn.EncoderCell
+	dec      *rnn.DecoderCell
+	leaf     *rnn.TreeLeafCell
+	internal *rnn.TreeInternalCell
+}
+
+func newTestModel() *testModel {
+	rng := tensor.NewRNG(12345)
+	return &testModel{
+		lstm:     rnn.NewLSTMCell("lstm", tEmbed, tHidden, rng),
+		enc:      rnn.NewEncoderCell("enc", tVocab, tEmbed, tHidden, rng),
+		dec:      rnn.NewDecoderCell("dec", tVocab, tEmbed, tHidden, rng),
+		leaf:     rnn.NewTreeLeafCell("leaf", tVocab, tEmbed, tHidden, rng),
+		internal: rnn.NewTreeInternalCell("internal", tHidden, rng),
+	}
+}
+
+func (m *testModel) serverConfig(workers int) Config {
+	return Config{
+		Workers:          workers,
+		MaxTasksToSubmit: 3,
+		Cells: []CellSpec{
+			{Cell: m.lstm, MaxBatch: 8},
+			{Cell: m.enc, MaxBatch: 8, Priority: 0},
+			{Cell: m.dec, MaxBatch: 8, Priority: 1},
+			{Cell: m.leaf, MaxBatch: 8, Priority: 0},
+			{Cell: m.internal, MaxBatch: 8, Priority: 1},
+		},
+	}
+}
+
+func chainInput(seed uint64, n int) *tensor.Tensor {
+	return tensor.RandUniform(tensor.NewRNG(seed), 1, n, tEmbed)
+}
+
+func TestServerSingleChainMatchesSequential(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(m.serverConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	xs := chainInput(1, 6)
+	g, err := cellgraph.UnfoldChain(m.lstm, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Submit(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRef, _ := cellgraph.UnfoldChain(m.lstm, xs)
+	want, err := cellgraph.ExecuteSequential(gRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["h"].Equal(want["h"]) {
+		t.Fatal("served result differs from sequential execution")
+	}
+}
+
+// TestServerBatchingTransparency is the core end-to-end invariant: many
+// concurrent requests of mixed kinds, executed with cross-request cellular
+// batching on multiple workers, produce results identical to unbatched
+// sequential execution.
+func TestServerBatchingTransparency(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(m.serverConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	type job struct {
+		build func() *cellgraph.Graph
+	}
+	words := tensor.NewRNG(9)
+	var jobs []job
+	for i := 0; i < 12; i++ {
+		n := 1 + i%7
+		seed := uint64(i)
+		jobs = append(jobs, job{build: func() *cellgraph.Graph {
+			g, err := cellgraph.UnfoldChain(m.lstm, chainInput(seed, n))
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}})
+	}
+	for i := 0; i < 8; i++ {
+		src := make([]int, 1+i%5)
+		for j := range src {
+			src[j] = 2 + words.Intn(tVocab-2)
+		}
+		dst := 1 + i%4
+		jobs = append(jobs, job{build: func() *cellgraph.Graph {
+			g, err := cellgraph.UnfoldSeq2Seq(m.enc, m.dec, src, dst)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}})
+	}
+	for i := 0; i < 6; i++ {
+		leaves := 1 << (1 + i%3)
+		tree, err := cellgraph.CompleteBinaryTree(leaves, tVocab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{build: func() *cellgraph.Graph {
+			g, err := cellgraph.UnfoldTree(m.leaf, m.internal, tree)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}})
+	}
+
+	want := make([]map[string]*tensor.Tensor, len(jobs))
+	for i, j := range jobs {
+		res, err := cellgraph.ExecuteSequential(j.build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	got := make([]map[string]*tensor.Tensor, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			got[i], errs[i] = srv.Submit(context.Background(), j.build())
+		}(i, j)
+	}
+	wg.Wait()
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		for name, w := range want[i] {
+			if !got[i][name].AllClose(w, 1e-5) {
+				t.Fatalf("job %d output %q: batched serving differs from sequential", i, name)
+			}
+		}
+	}
+	// Cross-request batching must actually have happened.
+	st := srv.Stats()
+	if st.TasksRun == 0 || st.CellsRun <= st.TasksRun {
+		t.Fatalf("no cross-request batching: %+v", st)
+	}
+	batched := 0
+	for size, n := range st.BatchSizes {
+		if size > 1 {
+			batched += n
+		}
+	}
+	if batched == 0 {
+		t.Fatalf("every task had batch size 1: %+v", st.BatchSizes)
+	}
+}
+
+func TestServerSeq2SeqFeedPrevious(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(m.serverConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	src := []int{3, 4, 5, 6}
+	g, err := cellgraph.UnfoldSeq2Seq(m.enc, m.dec, src, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Submit(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRef, _ := cellgraph.UnfoldSeq2Seq(m.enc, m.dec, src, 5)
+	want, err := cellgraph.ExecuteSequential(gRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("word%d", i)
+		if got[name].At(0, 0) != want[name].At(0, 0) {
+			t.Fatalf("decoded %s: served %v, sequential %v", name, got[name].At(0, 0), want[name].At(0, 0))
+		}
+	}
+}
+
+func TestServerRejectsUnknownCellType(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(Config{Workers: 1, Cells: []CellSpec{{Cell: m.lstm, MaxBatch: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	g, _ := cellgraph.UnfoldChainIDs(m.enc, []int{3, 4})
+	if _, err := srv.Submit(context.Background(), g); err == nil {
+		t.Fatal("want unknown-cell-type error")
+	}
+}
+
+func TestServerRejectsInvalidGraph(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(m.serverConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	g, _ := cellgraph.UnfoldChain(m.lstm, chainInput(1, 3))
+	g.Nodes[1].Inputs["h"] = cellgraph.Ref(99, "h")
+	if _, err := srv.Submit(context.Background(), g); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestServerContextCancellation(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(m.serverConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, _ := cellgraph.UnfoldChain(m.lstm, chainInput(1, 200))
+	if _, err := srv.Submit(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestServerStopFailsPendingAndRejectsNew(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(m.serverConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long request that will still be in flight when Stop hits.
+	g, _ := cellgraph.UnfoldChain(m.lstm, chainInput(1, 3000))
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(context.Background(), g)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	srv.Stop()
+	select {
+	case err := <-errCh:
+		// Either it finished before Stop (nil) or it was failed with
+		// ErrStopped; both are acceptable, hanging is not.
+		if err != nil && !errors.Is(err, ErrStopped) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit hung across Stop")
+	}
+	g2, _ := cellgraph.UnfoldChain(m.lstm, chainInput(2, 2))
+	if _, err := srv.Submit(context.Background(), g2); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	// Stop is idempotent.
+	srv.Stop()
+}
+
+func TestServerConfigErrors(t *testing.T) {
+	m := newTestModel()
+	if _, err := New(Config{Workers: 0, Cells: []CellSpec{{Cell: m.lstm, MaxBatch: 4}}}); err == nil {
+		t.Fatal("want workers error")
+	}
+	if _, err := New(Config{Workers: 1}); err == nil {
+		t.Fatal("want no-cells error")
+	}
+	if _, err := New(Config{Workers: 1, Cells: []CellSpec{{Cell: nil, MaxBatch: 4}}}); err == nil {
+		t.Fatal("want nil-cell error")
+	}
+	if _, err := New(Config{Workers: 1, Cells: []CellSpec{
+		{Cell: m.lstm, MaxBatch: 4}, {Cell: m.lstm, MaxBatch: 4},
+	}}); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	if _, err := New(Config{Workers: 1, Cells: []CellSpec{{Cell: m.lstm, MaxBatch: 0}}}); err == nil {
+		t.Fatal("want MaxBatch error")
+	}
+}
+
+func TestServerManyConcurrentSmallRequests(t *testing.T) {
+	// Soak: hammer the server from many goroutines; everything completes.
+	m := newTestModel()
+	srv, err := New(m.serverConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	var wg sync.WaitGroup
+	errs := make([]error, 60)
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := cellgraph.UnfoldChain(m.lstm, chainInput(uint64(i), 1+i%9))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = srv.Submit(context.Background(), g)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if st := srv.Stats(); st.LiveRequests != 0 {
+		t.Fatalf("live requests remain: %+v", st)
+	}
+}

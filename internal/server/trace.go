@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"batchmaker/internal/core"
+)
+
+// EventKind discriminates trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventAdmit EventKind = iota
+	EventTaskExec
+	EventComplete
+	EventFail
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventAdmit:
+		return "admit"
+	case EventTaskExec:
+		return "task"
+	case EventComplete:
+		return "complete"
+	case EventFail:
+		return "fail"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one entry of the server's execution trace: the observable
+// counterpart of the paper's Figure 6 workflow (requests admitted by the
+// request processor, batched tasks executed by workers, requests returned
+// the moment their last cell finishes).
+type Event struct {
+	At   time.Time
+	Kind EventKind
+	// Req is set for admit/complete/fail events.
+	Req core.RequestID
+	// Worker, TypeKey and Batch are set for task events.
+	Worker  core.WorkerID
+	TypeKey string
+	Batch   int
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventTaskExec:
+		return fmt.Sprintf("%s worker=%d type=%s batch=%d", e.Kind, e.Worker, shortType(e.TypeKey), e.Batch)
+	default:
+		return fmt.Sprintf("%s req=%d", e.Kind, e.Req)
+	}
+}
+
+func shortType(key string) string {
+	if i := strings.IndexByte(key, ':'); i > 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// traceRing is a fixed-capacity ring buffer of events. Caller holds the
+// server mutex.
+type traceRing struct {
+	buf   []Event
+	next  int
+	total int
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &traceRing{buf: make([]Event, 0, capacity)}
+}
+
+func (t *traceRing) add(e Event) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % cap(t.buf)
+}
+
+// snapshot returns events oldest-first.
+func (t *traceRing) snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Trace returns the most recent trace events (oldest first) and the total
+// number of events observed since start. Tracing must have been enabled
+// with Config.TraceCapacity.
+func (s *Server) Trace() ([]Event, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trace == nil {
+		return nil, 0
+	}
+	return s.trace.snapshot(), s.trace.total
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"batchmaker/internal/cellgraph"
+)
+
+func TestTraceRecordsLifecycle(t *testing.T) {
+	m := newTestModel()
+	cfg := m.serverConfig(1)
+	cfg.TraceCapacity = 1024
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	g, _ := cellgraph.UnfoldChain(m.lstm, chainInput(1, 5))
+	if _, err := srv.Submit(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	events, total := srv.Trace()
+	if total != len(events) {
+		t.Fatalf("total %d != len %d before wraparound", total, len(events))
+	}
+	var admits, tasks, completes int
+	admitIdx, completeIdx := -1, -1
+	for i, e := range events {
+		switch e.Kind {
+		case EventAdmit:
+			admits++
+			admitIdx = i
+		case EventTaskExec:
+			tasks++
+			if e.Batch < 1 {
+				t.Fatalf("task event without batch: %+v", e)
+			}
+		case EventComplete:
+			completes++
+			completeIdx = i
+		}
+		if e.String() == "" {
+			t.Fatal("empty event string")
+		}
+	}
+	if admits != 1 || completes != 1 || tasks != 5 {
+		t.Fatalf("events: admits=%d tasks=%d completes=%d", admits, tasks, completes)
+	}
+	if admitIdx >= completeIdx {
+		t.Fatal("admit must precede complete")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(m.serverConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	g, _ := cellgraph.UnfoldChain(m.lstm, chainInput(1, 2))
+	if _, err := srv.Submit(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	if events, total := srv.Trace(); events != nil || total != 0 {
+		t.Fatalf("trace should be disabled: %v %d", events, total)
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	r := newTraceRing(3)
+	for i := 1; i <= 5; i++ {
+		r.add(Event{Req: 0, Batch: i, Kind: EventTaskExec})
+	}
+	snap := r.snapshot()
+	if len(snap) != 3 || r.total != 5 {
+		t.Fatalf("snap=%d total=%d", len(snap), r.total)
+	}
+	// Oldest-first: batches 3, 4, 5.
+	for i, want := range []int{3, 4, 5} {
+		if snap[i].Batch != want {
+			t.Fatalf("snapshot order: %+v", snap)
+		}
+	}
+	// Nil ring is inert.
+	var nilRing *traceRing
+	nilRing.add(Event{})
+	if nilRing.snapshot() != nil {
+		t.Fatal("nil ring must snapshot nil")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{EventAdmit, EventTaskExec, EventComplete, EventFail} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestShortType(t *testing.T) {
+	if got := shortType("lstm:abcdef"); got != "lstm" {
+		t.Fatalf("shortType = %q", got)
+	}
+	if got := shortType("plain"); got != "plain" {
+		t.Fatalf("shortType = %q", got)
+	}
+}

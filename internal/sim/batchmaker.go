@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"batchmaker/internal/core"
+	"batchmaker/internal/dataset"
+	"batchmaker/internal/device"
+	"batchmaker/internal/metrics"
+)
+
+// BatchMakerConfig configures the cellular-batching serving simulation
+// (§4: manager with request processor + scheduler, one worker per GPU).
+type BatchMakerConfig struct {
+	Model            *Model
+	NumGPUs          int
+	Overheads        device.Overheads
+	MaxTasksToSubmit int
+	// StateBytes is the per-request device state (h and c vectors) copied
+	// when a request's execution migrates between GPUs. At hidden 1024 and
+	// float32, h+c is 8 KiB.
+	StateBytes int
+}
+
+// DefaultStateBytes is h+c at hidden 1024, float32.
+const DefaultStateBytes = 8192
+
+type bmRequest struct {
+	id         core.RequestID
+	tracker    *core.Tracker
+	arrival    time.Duration
+	firstExec  time.Duration
+	hasExec    bool
+	lastWorker core.WorkerID
+}
+
+// batchMakerSim is one run of the BatchMaker simulation.
+type batchMakerSim struct {
+	cfg   BatchMakerConfig
+	run   RunConfig
+	wl    Workload
+	eng   *Engine
+	sched *core.Scheduler
+	gpus  []*device.GPU
+	// inflight tasks per worker; a worker asks for more work when it drains.
+	inflight []int
+	reqs     map[core.RequestID]*bmRequest
+	nextID   core.RequestID
+	col      *collector
+	admitted int
+}
+
+// RunBatchMaker simulates BatchMaker serving the workload at one load point
+// and returns the measured run result.
+func RunBatchMaker(cfg BatchMakerConfig, wl Workload, run RunConfig) (*metrics.RunResult, error) {
+	if cfg.NumGPUs <= 0 {
+		return nil, fmt.Errorf("sim: NumGPUs must be positive")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("sim: nil model")
+	}
+	if cfg.StateBytes == 0 {
+		cfg.StateBytes = DefaultStateBytes
+	}
+	sched, err := core.NewScheduler(core.Config{
+		Types:            cfg.Model.Types(),
+		MaxTasksToSubmit: cfg.MaxTasksToSubmit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &batchMakerSim{
+		cfg:      cfg,
+		run:      run,
+		wl:       wl,
+		eng:      NewEngine(),
+		sched:    sched,
+		gpus:     make([]*device.GPU, cfg.NumGPUs),
+		inflight: make([]int, cfg.NumGPUs),
+		reqs:     make(map[core.RequestID]*bmRequest),
+		col:      newCollector(fmt.Sprintf("BatchMaker-%s", cfg.Model.Name), run),
+	}
+	for i := range s.gpus {
+		s.gpus[i] = &device.GPU{ID: i}
+	}
+	arrivals := dataset.NewPoisson(run.Seed, run.RatePerSec)
+	s.scheduleArrival(arrivals, time.Duration(arrivals.NextGapNanos()))
+	for s.eng.Step() {
+	}
+	// Drain check: every admitted request must have completed.
+	if len(s.reqs) != 0 {
+		return nil, fmt.Errorf("sim: %d requests never completed", len(s.reqs))
+	}
+	return s.col.result(), nil
+}
+
+func (s *batchMakerSim) scheduleArrival(p *dataset.Poisson, at time.Duration) {
+	if at > s.run.end() {
+		return
+	}
+	if s.run.MaxRequests > 0 && s.admitted >= s.run.MaxRequests {
+		return
+	}
+	s.eng.At(at, func() {
+		s.admit()
+		s.scheduleArrival(p, s.eng.Now()+time.Duration(p.NextGapNanos()))
+	})
+}
+
+func (s *batchMakerSim) admit() {
+	shape := s.wl.Next()
+	g, err := s.cfg.Model.BuildGraph(shape)
+	if err != nil {
+		panic(fmt.Sprintf("sim: building request graph: %v", err))
+	}
+	s.nextID++
+	id := s.nextID
+	tr, err := core.NewTracker(id, g)
+	if err != nil {
+		panic(fmt.Sprintf("sim: tracker: %v", err))
+	}
+	req := &bmRequest{id: id, tracker: tr, arrival: s.eng.Now(), lastWorker: core.NoWorker}
+	s.reqs[id] = req
+	s.admitted++
+	for _, spec := range tr.InitialSubgraphs() {
+		if _, err := s.sched.AddSubgraph(spec); err != nil {
+			panic(fmt.Sprintf("sim: add subgraph: %v", err))
+		}
+	}
+	s.kickIdleWorkers()
+}
+
+// kickIdleWorkers offers work to every drained worker.
+func (s *batchMakerSim) kickIdleWorkers() {
+	for w := range s.gpus {
+		if s.inflight[w] == 0 {
+			s.scheduleWorker(core.WorkerID(w))
+		}
+	}
+}
+
+// scheduleWorker runs the cellular-batching scheduler for one worker and
+// submits the returned tasks to its GPU stream back to back.
+func (s *batchMakerSim) scheduleWorker(w core.WorkerID) {
+	tasks := s.sched.Schedule(w)
+	if len(tasks) == 0 {
+		return
+	}
+	gpu := s.gpus[w]
+	for _, task := range tasks {
+		dur := s.cfg.Overheads.PerTask(task.BatchSize()) + s.cfg.Model.KernelTime(task.TypeKey, task.BatchSize())
+		// Cross-GPU migration: if any request in the task last executed on
+		// a different GPU, its state must be copied over. Copies to one
+		// destination overlap, so charge a single copy latency.
+		migrated := false
+		for _, ref := range task.Nodes {
+			req := s.reqs[ref.Req]
+			if req.lastWorker != core.NoWorker && req.lastWorker != w {
+				migrated = true
+				s.col.res.AddExtra("migrated_requests", 1)
+			}
+			req.lastWorker = w
+		}
+		s.col.res.AddExtra("tasks", 1)
+		s.col.res.AddExtra("batched_cells", float64(task.BatchSize()))
+		if migrated {
+			dur += s.cfg.Overheads.CopyTime(s.cfg.StateBytes)
+			s.col.res.AddExtra("migration_tasks", 1)
+		}
+		start, end := gpu.Submit(s.eng.Now(), dur)
+		for _, ref := range task.Nodes {
+			req := s.reqs[ref.Req]
+			if !req.hasExec {
+				req.hasExec = true
+				req.firstExec = start
+			}
+		}
+		s.inflight[w]++
+		t := task
+		s.eng.At(end+s.cfg.Overheads.CompletionPoll, func() { s.onTaskDone(w, t, end) })
+	}
+}
+
+func (s *batchMakerSim) onTaskDone(w core.WorkerID, task *core.Task, end time.Duration) {
+	for _, ref := range task.Nodes {
+		req := s.reqs[ref.Req]
+		released, err := req.tracker.NodeDone(ref.Node)
+		if err != nil {
+			panic(fmt.Sprintf("sim: node done: %v", err))
+		}
+		for _, spec := range released {
+			if _, err := s.sched.AddSubgraph(spec); err != nil {
+				panic(fmt.Sprintf("sim: add released subgraph: %v", err))
+			}
+		}
+		if req.tracker.Finished() {
+			// The result returns to the user as soon as the last cell
+			// finishes (notification already included in the event time).
+			s.col.record(req.arrival, req.firstExec, end)
+			delete(s.reqs, ref.Req)
+		}
+	}
+	if err := s.sched.TaskCompleted(task.ID); err != nil {
+		panic(fmt.Sprintf("sim: task completed: %v", err))
+	}
+	s.inflight[w]--
+	if s.inflight[w] == 0 {
+		s.scheduleWorker(w)
+	}
+	// Newly released subgraphs may also feed other drained workers.
+	s.kickIdleWorkers()
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/core"
+	"batchmaker/internal/device"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/tensor"
+)
+
+// TimingCell is a tensor-free cell used by the simulations: only the type
+// key, input/output names, and cost curve matter. Step exists to satisfy
+// rnn.Cell (and returns zero rows) but the simulator never calls it.
+type TimingCell struct {
+	name string
+	key  string
+	ins  []string
+	outs []string
+}
+
+// NewTimingCell builds a timing cell.
+func NewTimingCell(key string, ins, outs []string) *TimingCell {
+	return &TimingCell{name: key, key: key, ins: ins, outs: outs}
+}
+
+// Name implements rnn.Cell.
+func (c *TimingCell) Name() string { return c.name }
+
+// TypeKey implements rnn.Cell.
+func (c *TimingCell) TypeKey() string { return c.key }
+
+// InputNames implements rnn.Cell.
+func (c *TimingCell) InputNames() []string { return c.ins }
+
+// OutputNames implements rnn.Cell.
+func (c *TimingCell) OutputNames() []string { return c.outs }
+
+// Step implements rnn.Cell; the simulator is timing-only so this is a stub
+// that produces zero rows of width 1.
+func (c *TimingCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	b := -1
+	for _, t := range inputs {
+		b = t.Dim(0)
+		break
+	}
+	if b < 0 {
+		return nil, fmt.Errorf("sim: cell %s got no inputs", c.name)
+	}
+	out := make(map[string]*tensor.Tensor, len(c.outs))
+	for _, o := range c.outs {
+		out[o] = tensor.New(b, 1)
+	}
+	return out, nil
+}
+
+var _ rnn.Cell = (*TimingCell)(nil)
+
+// sharedRow is the literal bound to every sim-graph input; the simulator
+// never reads tensor data, so one shared row suffices.
+var sharedRow = tensor.New(1, 1)
+
+// RequestKind discriminates the workload shapes of the paper's three
+// applications.
+type RequestKind int
+
+// Request kinds.
+const (
+	KindChain RequestKind = iota // LSTM over a sentence
+	KindSeq2Seq
+	KindTree
+)
+
+// Shape describes one request's structure (lengths only — the simulator is
+// timing-only).
+type Shape struct {
+	Kind   RequestKind
+	Len    int // chain length
+	SrcLen int // seq2seq encode steps
+	DstLen int // seq2seq decode steps
+	Tree   *cellgraph.Tree
+}
+
+// Cells returns the total cell count of the request.
+func (s Shape) Cells() int {
+	switch s.Kind {
+	case KindChain:
+		return s.Len
+	case KindSeq2Seq:
+		return s.SrcLen + s.DstLen
+	case KindTree:
+		return s.Tree.Nodes()
+	}
+	return 0
+}
+
+// Model wires a request shape to cell types, cost curves and graph builders
+// for one application (LSTM, Seq2Seq or TreeLSTM).
+type Model struct {
+	Name  string
+	cells map[string]*TimingCell
+	types []core.TypeConfig
+	costs *device.CostModel
+}
+
+// Cell type keys used by the simulation models.
+const (
+	TypeLSTM     = "lstm"
+	TypeEncoder  = "encoder"
+	TypeDecoder  = "decoder"
+	TypeLeaf     = "tree_leaf"
+	TypeInternal = "tree_internal"
+)
+
+// NewLSTMModel builds the single-cell-type chain model (§7.2): max batch
+// bmax, LSTM GPU cost curve.
+func NewLSTMModel(bmax, minBatch int) *Model {
+	m := &Model{Name: "lstm", cells: map[string]*TimingCell{}, costs: device.NewCostModel()}
+	m.cells[TypeLSTM] = NewTimingCell(TypeLSTM, []string{"x", "h", "c"}, []string{"h", "c"})
+	m.types = []core.TypeConfig{{Key: TypeLSTM, MaxBatch: bmax, MinBatch: minBatch}}
+	m.costs.SetCurve(TypeLSTM, device.LSTMGPUCurve())
+	return m
+}
+
+// NewSeq2SeqModel builds the encoder/decoder model (§7.4) with separate max
+// batch sizes; decoders get higher priority (§4.3).
+func NewSeq2SeqModel(bmaxEnc, bmaxDec, minBatch int) *Model {
+	m := &Model{Name: "seq2seq", cells: map[string]*TimingCell{}, costs: device.NewCostModel()}
+	m.cells[TypeEncoder] = NewTimingCell(TypeEncoder, []string{"ids", "h", "c"}, []string{"h", "c"})
+	m.cells[TypeDecoder] = NewTimingCell(TypeDecoder, []string{"ids", "h", "c"}, []string{"h", "c", "word"})
+	m.types = []core.TypeConfig{
+		{Key: TypeEncoder, MaxBatch: bmaxEnc, MinBatch: minBatch, Priority: 0},
+		{Key: TypeDecoder, MaxBatch: bmaxDec, MinBatch: minBatch, Priority: 1},
+	}
+	m.costs.SetCurve(TypeEncoder, device.LSTMGPUCurve())
+	m.costs.SetCurve(TypeDecoder, device.DecoderGPUCurve())
+	return m
+}
+
+// NewTreeModel builds the TreeLSTM model (§7.5); internal cells get higher
+// priority than leaves (§4.3).
+func NewTreeModel(bmax, minBatch int) *Model {
+	m := &Model{Name: "treelstm", cells: map[string]*TimingCell{}, costs: device.NewCostModel()}
+	m.cells[TypeLeaf] = NewTimingCell(TypeLeaf, []string{"ids"}, []string{"h", "c"})
+	m.cells[TypeInternal] = NewTimingCell(TypeInternal, []string{"hl", "cl", "hr", "cr"}, []string{"h", "c"})
+	m.types = []core.TypeConfig{
+		{Key: TypeLeaf, MaxBatch: bmax, MinBatch: minBatch, Priority: 0},
+		{Key: TypeInternal, MaxBatch: bmax, MinBatch: minBatch, Priority: 1},
+	}
+	m.costs.SetCurve(TypeLeaf, device.TreeLeafGPUCurve())
+	m.costs.SetCurve(TypeInternal, device.LSTMGPUCurve())
+	return m
+}
+
+// Types returns the scheduler type configuration.
+func (m *Model) Types() []core.TypeConfig { return append([]core.TypeConfig(nil), m.types...) }
+
+// WithTypes returns a copy of the model whose type configuration has been
+// transformed by f (used by ablations, e.g. to flatten priorities).
+func (m *Model) WithTypes(f func([]core.TypeConfig) []core.TypeConfig) *Model {
+	c := *m
+	c.types = f(m.Types())
+	return &c
+}
+
+// Costs returns the cost model.
+func (m *Model) Costs() *device.CostModel { return m.costs }
+
+// KernelTime returns the batched kernel time for a type.
+func (m *Model) KernelTime(typeKey string, b int) time.Duration {
+	return m.costs.KernelTime(typeKey, b)
+}
+
+// BuildGraph unfolds a shape into a timing cell graph.
+func (m *Model) BuildGraph(s Shape) (*cellgraph.Graph, error) {
+	switch s.Kind {
+	case KindChain:
+		cell, ok := m.cells[TypeLSTM]
+		if !ok {
+			return nil, fmt.Errorf("sim: model %s cannot build chains", m.Name)
+		}
+		return buildChain(cell, s.Len), nil
+	case KindSeq2Seq:
+		enc, okE := m.cells[TypeEncoder]
+		dec, okD := m.cells[TypeDecoder]
+		if !okE || !okD {
+			return nil, fmt.Errorf("sim: model %s cannot build seq2seq", m.Name)
+		}
+		return buildSeq2Seq(enc, dec, s.SrcLen, s.DstLen), nil
+	case KindTree:
+		leaf, okL := m.cells[TypeLeaf]
+		internal, okI := m.cells[TypeInternal]
+		if !okL || !okI {
+			return nil, fmt.Errorf("sim: model %s cannot build trees", m.Name)
+		}
+		return buildTree(leaf, internal, s.Tree), nil
+	}
+	return nil, fmt.Errorf("sim: unknown request kind %d", s.Kind)
+}
+
+func buildChain(cell *TimingCell, n int) *cellgraph.Graph {
+	g := &cellgraph.Graph{Nodes: make([]*cellgraph.Node, 0, n)}
+	for t := 0; t < n; t++ {
+		node := &cellgraph.Node{
+			ID:     cellgraph.NodeID(t),
+			Cell:   cell,
+			Inputs: map[string]cellgraph.Binding{"x": cellgraph.Lit(sharedRow)},
+		}
+		if t == 0 {
+			node.Inputs["h"] = cellgraph.Lit(sharedRow)
+			node.Inputs["c"] = cellgraph.Lit(sharedRow)
+		} else {
+			node.Inputs["h"] = cellgraph.Ref(cellgraph.NodeID(t-1), "h")
+			node.Inputs["c"] = cellgraph.Ref(cellgraph.NodeID(t-1), "c")
+		}
+		g.Nodes = append(g.Nodes, node)
+	}
+	g.Results = []cellgraph.OutputSpec{{Name: "h", Node: cellgraph.NodeID(n - 1), Output: "h"}}
+	return g
+}
+
+func buildSeq2Seq(enc, dec *TimingCell, srcLen, dstLen int) *cellgraph.Graph {
+	g := &cellgraph.Graph{Nodes: make([]*cellgraph.Node, 0, srcLen+dstLen)}
+	for t := 0; t < srcLen; t++ {
+		node := &cellgraph.Node{
+			ID:     cellgraph.NodeID(t),
+			Cell:   enc,
+			Inputs: map[string]cellgraph.Binding{"ids": cellgraph.Lit(sharedRow)},
+		}
+		if t == 0 {
+			node.Inputs["h"] = cellgraph.Lit(sharedRow)
+			node.Inputs["c"] = cellgraph.Lit(sharedRow)
+		} else {
+			node.Inputs["h"] = cellgraph.Ref(cellgraph.NodeID(t-1), "h")
+			node.Inputs["c"] = cellgraph.Ref(cellgraph.NodeID(t-1), "c")
+		}
+		g.Nodes = append(g.Nodes, node)
+	}
+	for t := 0; t < dstLen; t++ {
+		id := cellgraph.NodeID(srcLen + t)
+		node := &cellgraph.Node{ID: id, Cell: dec, Inputs: map[string]cellgraph.Binding{}}
+		if t == 0 {
+			node.Inputs["ids"] = cellgraph.Lit(sharedRow)
+			node.Inputs["h"] = cellgraph.Ref(cellgraph.NodeID(srcLen-1), "h")
+			node.Inputs["c"] = cellgraph.Ref(cellgraph.NodeID(srcLen-1), "c")
+		} else {
+			node.Inputs["ids"] = cellgraph.Ref(id-1, "word")
+			node.Inputs["h"] = cellgraph.Ref(id-1, "h")
+			node.Inputs["c"] = cellgraph.Ref(id-1, "c")
+		}
+		g.Nodes = append(g.Nodes, node)
+	}
+	last := cellgraph.NodeID(srcLen + dstLen - 1)
+	g.Results = []cellgraph.OutputSpec{{Name: "h", Node: last, Output: "h"}}
+	return g
+}
+
+func buildTree(leaf, internal *TimingCell, t *cellgraph.Tree) *cellgraph.Graph {
+	g := &cellgraph.Graph{}
+	var build func(n *cellgraph.Tree) cellgraph.NodeID
+	build = func(n *cellgraph.Tree) cellgraph.NodeID {
+		if n.IsLeaf() {
+			id := cellgraph.NodeID(len(g.Nodes))
+			g.Nodes = append(g.Nodes, &cellgraph.Node{
+				ID:     id,
+				Cell:   leaf,
+				Inputs: map[string]cellgraph.Binding{"ids": cellgraph.Lit(sharedRow)},
+			})
+			return id
+		}
+		l := build(n.Left)
+		r := build(n.Right)
+		id := cellgraph.NodeID(len(g.Nodes))
+		g.Nodes = append(g.Nodes, &cellgraph.Node{
+			ID:   id,
+			Cell: internal,
+			Inputs: map[string]cellgraph.Binding{
+				"hl": cellgraph.Ref(l, "h"), "cl": cellgraph.Ref(l, "c"),
+				"hr": cellgraph.Ref(r, "h"), "cr": cellgraph.Ref(r, "c"),
+			},
+		})
+		return id
+	}
+	root := build(t)
+	g.Results = []cellgraph.OutputSpec{{Name: "h", Node: root, Output: "h"}}
+	return g
+}

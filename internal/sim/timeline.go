@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TimelineRequest is one request of the Figure 5 scenario: arrival time and
+// sequence length, both in abstract unit timesteps (one RNN cell = one unit).
+type TimelineRequest struct {
+	Name    string
+	Arrival int
+	Len     int
+}
+
+// TimelineEntry records one request's lifetime under a batching policy.
+type TimelineEntry struct {
+	Name       string
+	Arrival    int
+	Start      int // first unit of execution
+	Completion int // time the request's last cell finished
+}
+
+// Latency returns completion - arrival.
+func (e TimelineEntry) Latency() int { return e.Completion - e.Arrival }
+
+// Figure5Requests returns the paper's example workload: req1-4 arrive at
+// t=0 with lengths 2,3,3,5; req5-8 arrive just after (lengths 5,7,3,1).
+func Figure5Requests() []TimelineRequest {
+	return []TimelineRequest{
+		{Name: "req1", Arrival: 0, Len: 2},
+		{Name: "req2", Arrival: 0, Len: 3},
+		{Name: "req3", Arrival: 0, Len: 3},
+		{Name: "req4", Arrival: 0, Len: 5},
+		{Name: "req5", Arrival: 1, Len: 5},
+		{Name: "req6", Arrival: 1, Len: 7},
+		{Name: "req7", Arrival: 1, Len: 3},
+		{Name: "req8", Arrival: 1, Len: 1},
+	}
+}
+
+// GraphBatchingTimeline executes the requests under graph batching with the
+// given batch size: collect up to batchSize queued requests, pad to the
+// longest, run to completion, repeat (Figure 5a).
+func GraphBatchingTimeline(reqs []TimelineRequest, batchSize int) []TimelineEntry {
+	pending := append([]TimelineRequest(nil), reqs...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+	entries := make([]TimelineEntry, 0, len(reqs))
+	now := 0
+	for len(pending) > 0 {
+		// Admit arrived requests, up to batchSize.
+		var batch []TimelineRequest
+		rest := pending[:0]
+		for _, r := range pending {
+			if r.Arrival <= now && len(batch) < batchSize {
+				batch = append(batch, r)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		if len(batch) == 0 {
+			// Idle until the next arrival.
+			now = rest[0].Arrival
+			pending = rest
+			continue
+		}
+		pending = append([]TimelineRequest(nil), rest...)
+		longest := 0
+		for _, r := range batch {
+			if r.Len > longest {
+				longest = r.Len
+			}
+		}
+		for _, r := range batch {
+			entries = append(entries, TimelineEntry{
+				Name:    r.Name,
+				Arrival: r.Arrival,
+				Start:   now,
+				// Graph batching: everyone waits for the longest (§2.3).
+				Completion: now + longest,
+			})
+		}
+		now += longest
+	}
+	sortEntries(entries)
+	return entries
+}
+
+// CellularBatchingTimeline executes the requests under cellular batching
+// with the given batch size: at every unit step, the batch is refilled with
+// ready cells from the oldest requests, new arrivals join immediately, and
+// a request departs the moment its last cell finishes (Figure 5b).
+func CellularBatchingTimeline(reqs []TimelineRequest, batchSize int) []TimelineEntry {
+	type live struct {
+		req  TimelineRequest
+		done int
+		ent  *TimelineEntry
+	}
+	entries := make([]TimelineEntry, len(reqs))
+	for i, r := range reqs {
+		entries[i] = TimelineEntry{Name: r.Name, Arrival: r.Arrival, Start: -1}
+	}
+	byName := make(map[string]*TimelineEntry, len(reqs))
+	for i := range entries {
+		byName[entries[i].Name] = &entries[i]
+	}
+	var queue []*live
+	upcoming := append([]TimelineRequest(nil), reqs...)
+	sort.SliceStable(upcoming, func(i, j int) bool { return upcoming[i].Arrival < upcoming[j].Arrival })
+	now := 0
+	for len(queue) > 0 || len(upcoming) > 0 {
+		for len(upcoming) > 0 && upcoming[0].Arrival <= now {
+			r := upcoming[0]
+			upcoming = upcoming[1:]
+			queue = append(queue, &live{req: r, ent: byName[r.Name]})
+		}
+		if len(queue) == 0 {
+			now = upcoming[0].Arrival
+			continue
+		}
+		// Form one batched cell task from the oldest ready requests.
+		n := len(queue)
+		if n > batchSize {
+			n = batchSize
+		}
+		for _, l := range queue[:n] {
+			if l.ent.Start < 0 {
+				l.ent.Start = now
+			}
+			l.done++
+		}
+		now++
+		var stillLive []*live
+		for i, l := range queue {
+			if i < n && l.done == l.req.Len {
+				l.ent.Completion = now
+				continue
+			}
+			stillLive = append(stillLive, l)
+		}
+		queue = stillLive
+	}
+	sortEntries(entries)
+	return entries
+}
+
+func sortEntries(entries []TimelineEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+}
+
+// TotalSpan returns the time the last request completes.
+func TotalSpan(entries []TimelineEntry) int {
+	max := 0
+	for _, e := range entries {
+		if e.Completion > max {
+			max = e.Completion
+		}
+	}
+	return max
+}
+
+// MeanLatency returns the average latency across entries.
+func MeanLatency(entries []TimelineEntry) float64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, e := range entries {
+		sum += e.Latency()
+	}
+	return float64(sum) / float64(len(entries))
+}
+
+// FormatTimeline renders entries as an ASCII Gantt chart like Figure 5.
+func FormatTimeline(title string, entries []TimelineEntry) string {
+	var b strings.Builder
+	span := TotalSpan(entries)
+	fmt.Fprintf(&b, "%s (total span %d)\n", title, span)
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-6s ", e.Name)
+		for t := 0; t < span; t++ {
+			switch {
+			case t < e.Arrival:
+				b.WriteByte(' ')
+			case t < e.Start:
+				b.WriteByte('.') // queued
+			case t < e.Completion:
+				b.WriteByte('#') // executing (or riding in the batch)
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(&b, " latency=%d\n", e.Latency())
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func entryByName(t *testing.T, entries []TimelineEntry, name string) TimelineEntry {
+	t.Helper()
+	for _, e := range entries {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no entry %q", name)
+	return TimelineEntry{}
+}
+
+func TestGraphBatchingTimelineMatchesFigure5a(t *testing.T) {
+	entries := GraphBatchingTimeline(Figure5Requests(), 4)
+	// First batch (req1-4) padded to the longest (5): all finish at t=5.
+	for _, name := range []string{"req1", "req2", "req3", "req4"} {
+		e := entryByName(t, entries, name)
+		if e.Start != 0 || e.Completion != 5 {
+			t.Fatalf("%s = %+v, want start 0 completion 5", name, e)
+		}
+	}
+	// Second batch (req5-8) runs t=5..12 (longest 7).
+	for _, name := range []string{"req5", "req6", "req7", "req8"} {
+		e := entryByName(t, entries, name)
+		if e.Start != 5 || e.Completion != 12 {
+			t.Fatalf("%s = %+v, want start 5 completion 12", name, e)
+		}
+	}
+	if TotalSpan(entries) != 12 {
+		t.Fatalf("span = %d, want 12", TotalSpan(entries))
+	}
+}
+
+func TestCellularBatchingTimelineMatchesFigure5b(t *testing.T) {
+	entries := CellularBatchingTimeline(Figure5Requests(), 4)
+	// Req1 (len 2) departs at t=2; req5 joins the t=2 task immediately.
+	if e := entryByName(t, entries, "req1"); e.Completion != 2 {
+		t.Fatalf("req1 completion = %d, want 2", e.Completion)
+	}
+	if e := entryByName(t, entries, "req5"); e.Start != 2 {
+		t.Fatalf("req5 start = %d, want 2 (joins ongoing execution)", e.Start)
+	}
+	// Req2/req3 (len 3) depart at t=3; req8 (len 1) is batched at t=3 and
+	// departs at t=4 without waiting for longer requests.
+	if e := entryByName(t, entries, "req2"); e.Completion != 3 {
+		t.Fatalf("req2 completion = %d, want 3", e.Completion)
+	}
+	// Req8 (len 1) queues behind the FIFO window but still departs well
+	// before the long requests and never waits for them to finish.
+	req8 := entryByName(t, entries, "req8")
+	req6 := entryByName(t, entries, "req6")
+	if req8.Completion >= req6.Completion {
+		t.Fatalf("req8 (len 1) completes at %d, after req6 (len 7) at %d", req8.Completion, req6.Completion)
+	}
+	if req8.Completion-req8.Start != 1 {
+		t.Fatalf("req8 computation = %d units, want 1", req8.Completion-req8.Start)
+	}
+	// Cellular batching finishes the whole workload sooner than graph
+	// batching (12): total cells = 29, batch 4 → at least 8 units; the
+	// paper's figure drains around t=8.
+	span := TotalSpan(entries)
+	if span >= 12 {
+		t.Fatalf("cellular span = %d, must beat graph batching's 12", span)
+	}
+	if span < 8 {
+		t.Fatalf("cellular span = %d, impossible (<ceil(29/4))", span)
+	}
+	// Every request's mean latency improves.
+	g := MeanLatency(GraphBatchingTimeline(Figure5Requests(), 4))
+	c := MeanLatency(entries)
+	if c >= g {
+		t.Fatalf("cellular mean latency %v !< graph %v", c, g)
+	}
+}
+
+func TestCellularTimelineIdleGapHandled(t *testing.T) {
+	reqs := []TimelineRequest{
+		{Name: "a", Arrival: 0, Len: 1},
+		{Name: "b", Arrival: 10, Len: 2},
+	}
+	entries := CellularBatchingTimeline(reqs, 4)
+	if e := entryByName(t, entries, "a"); e.Completion != 1 {
+		t.Fatalf("a = %+v", e)
+	}
+	if e := entryByName(t, entries, "b"); e.Start != 10 || e.Completion != 12 {
+		t.Fatalf("b = %+v", e)
+	}
+	gentries := GraphBatchingTimeline(reqs, 4)
+	if e := entryByName(t, gentries, "b"); e.Start != 10 || e.Completion != 12 {
+		t.Fatalf("graph b = %+v", e)
+	}
+}
+
+func TestFormatTimelineRendersAllRequests(t *testing.T) {
+	entries := CellularBatchingTimeline(Figure5Requests(), 4)
+	out := FormatTimeline("cellular", entries)
+	for _, name := range []string{"req1", "req8"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("timeline missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(10, func() { got = append(got, 2) }) // same time: insertion order
+	for e.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(100, func() { fired++ })
+	e.RunUntil(50)
+	if fired != 1 || e.Pending() != 1 || e.Now() != 50 {
+		t.Fatalf("fired=%d pending=%d now=%v", fired, e.Pending(), e.Now())
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		e.At(5, func() {}) // in the past: clamped to now
+	})
+	for e.Step() {
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now = %v", e.Now())
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"batchmaker/internal/dataset"
+)
+
+func timeoutCfg(timeout time.Duration) BucketingConfig {
+	model := NewLSTMModel(512, 1)
+	stepOv, batchOv := DefaultBucketingOverheads("MXNet")
+	return BucketingConfig{
+		SystemName: "MXNet", Model: model, Kind: KindChain,
+		NumGPUs: 1, BucketWidth: 10, MaxBatch: 512,
+		StepOverhead: stepOv, BatchOverhead: batchOv,
+		BatchTimeout: timeout,
+	}
+}
+
+func TestBucketingTimeoutDelaysLoneRequest(t *testing.T) {
+	// A lone request must wait out the accumulation timeout before its
+	// bucket becomes eligible.
+	timeout := 20 * time.Millisecond
+	wl := &FixedWorkload{Shape: Shape{Kind: KindChain, Len: 10}}
+	res, err := RunBucketing(timeoutCfg(timeout), wl, RunConfig{
+		RatePerSec: 20, Duration: 200 * time.Millisecond, Warmup: 50 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := res.Queuing.P50(); q < timeout-time.Millisecond {
+		t.Fatalf("p50 queuing %v below the %v timeout", q, timeout)
+	}
+	// Without a timeout the same workload queues almost not at all.
+	wl2 := &FixedWorkload{Shape: Shape{Kind: KindChain, Len: 10}}
+	res2, err := RunBucketing(timeoutCfg(0), wl2, RunConfig{
+		RatePerSec: 20, Duration: 200 * time.Millisecond, Warmup: 50 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Queuing.P50() >= res.Queuing.P50() {
+		t.Fatalf("no-timeout queuing %v must beat timeout queuing %v",
+			res2.Queuing.P50(), res.Queuing.P50())
+	}
+}
+
+func TestBucketingTimeoutFullBatchBypassesWait(t *testing.T) {
+	// With MaxBatch 2 and paired arrivals, batches fill instantly and the
+	// timeout must not delay them.
+	cfg := timeoutCfg(500 * time.Millisecond)
+	cfg.MaxBatch = 2
+	wl := &FixedWorkload{Shape: Shape{Kind: KindChain, Len: 5}}
+	res, err := RunBucketing(cfg, wl, RunConfig{
+		RatePerSec: 2_000, Duration: 100 * time.Millisecond, Warmup: 20 * time.Millisecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median queuing far below the 500ms timeout proves full batches run
+	// immediately.
+	if q := res.Queuing.P50(); q > 100*time.Millisecond {
+		t.Fatalf("p50 queuing %v: full batches must bypass the timeout", q)
+	}
+}
+
+func TestBucketingNoTimeoutBeatsTimeoutAtModerateLoad(t *testing.T) {
+	// §7.1: the no-timeout strategy achieves lower latency than the
+	// timeout-based strategy.
+	run := RunConfig{RatePerSec: 4_000, Duration: 500 * time.Millisecond, Warmup: 200 * time.Millisecond, Seed: 9}
+	wlA := &LSTMWorkload{Lengths: dataset.NewWMTLengths(31)}
+	noTimeout, err := RunBucketing(timeoutCfg(0), wlA, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlB := &LSTMWorkload{Lengths: dataset.NewWMTLengths(31)}
+	withTimeout, err := RunBucketing(timeoutCfg(25*time.Millisecond), wlB, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noTimeout.Latency.P90() >= withTimeout.Latency.P90() {
+		t.Fatalf("no-timeout p90 %v must beat timeout p90 %v",
+			noTimeout.Latency.P90(), withTimeout.Latency.P90())
+	}
+}

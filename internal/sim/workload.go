@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"time"
+
+	"batchmaker/internal/dataset"
+	"batchmaker/internal/metrics"
+)
+
+// Workload generates request shapes for a run.
+type Workload interface {
+	Next() Shape
+}
+
+// LSTMWorkload samples chain lengths.
+type LSTMWorkload struct{ Lengths dataset.LengthSampler }
+
+// Next implements Workload.
+func (w *LSTMWorkload) Next() Shape { return Shape{Kind: KindChain, Len: w.Lengths.Sample()} }
+
+// Seq2SeqWorkload samples correlated (src, dst) pairs.
+type Seq2SeqWorkload struct{ Pairs *dataset.PairSampler }
+
+// Next implements Workload.
+func (w *Seq2SeqWorkload) Next() Shape {
+	src, dst := w.Pairs.Sample()
+	return Shape{Kind: KindSeq2Seq, SrcLen: src, DstLen: dst}
+}
+
+// TreeWorkload samples random parse trees.
+type TreeWorkload struct{ Trees *dataset.TreeSampler }
+
+// Next implements Workload.
+func (w *TreeWorkload) Next() Shape { return Shape{Kind: KindTree, Tree: w.Trees.Sample()} }
+
+// FixedWorkload replays one shape forever (fixed-length and fixed-tree
+// experiments).
+type FixedWorkload struct{ Shape Shape }
+
+// Next implements Workload.
+func (w *FixedWorkload) Next() Shape { return w.Shape }
+
+// RunConfig drives one load point of a serving experiment.
+type RunConfig struct {
+	// RatePerSec is the open-loop Poisson arrival rate.
+	RatePerSec float64
+	// Duration is the measured virtual time span (after warmup).
+	Duration time.Duration
+	// Warmup requests arriving before this instant are executed but not
+	// measured.
+	Warmup time.Duration
+	// Seed drives arrivals (workload samplers carry their own seeds).
+	Seed uint64
+	// MaxRequests caps total admissions as a safety valve (0 = unlimited).
+	MaxRequests int
+}
+
+// measuredWindow returns the virtual time at which admission stops.
+func (c RunConfig) end() time.Duration { return c.Warmup + c.Duration }
+
+// collector accumulates per-request stats into a RunResult. Latency
+// percentiles cover requests that arrived inside the measured window;
+// achieved throughput counts completions that fell inside the window (the
+// standard open-loop convention, so an overloaded run reports its saturation
+// throughput rather than the offered rate).
+type collector struct {
+	cfg        RunConfig
+	res        *metrics.RunResult
+	windowDone int
+}
+
+func newCollector(system string, cfg RunConfig) *collector {
+	return &collector{
+		cfg: cfg,
+		res: &metrics.RunResult{
+			System:     system,
+			OfferedQPS: cfg.RatePerSec,
+			Duration:   cfg.Duration,
+		},
+	}
+}
+
+func (c *collector) record(arrival, firstExec, completion time.Duration) {
+	if completion >= c.cfg.Warmup && completion <= c.cfg.end() {
+		c.windowDone++
+	}
+	if arrival < c.cfg.Warmup {
+		return
+	}
+	st := metrics.RequestStats{Arrival: arrival, FirstExec: firstExec, Completion: completion}
+	c.res.Latency.Add(st.Latency())
+	c.res.Queuing.Add(st.Queuing())
+	c.res.Computation.Add(st.Computation())
+}
+
+func (c *collector) result() *metrics.RunResult {
+	c.res.Completed = c.windowDone
+	return c.res
+}

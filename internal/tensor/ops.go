@@ -1,0 +1,373 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a @ b for rank-2 tensors: a is [m, k], b is [k, n], the
+// result is [m, n]. It panics on shape mismatch.
+//
+// The inner loops are ordered (i, p, j) so the innermost loop walks both the
+// output row and the b row contiguously, which is the standard cache-friendly
+// ikj ordering for row-major matrices.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 tensors, got %v @ %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulAddBias computes a @ w + bias, broadcasting bias (shape [n]) across
+// the rows of the [m, n] product. It is the fused op every RNN cell uses.
+func MatMulAddBias(a, w, bias *Tensor) *Tensor {
+	out := MatMul(a, w)
+	n := out.shape[1]
+	if bias.Rank() != 1 || bias.shape[0] != n {
+		panic(fmt.Sprintf("tensor: bias shape %v does not match output columns %d", bias.shape, n))
+	}
+	for i := 0; i < out.shape[0]; i++ {
+		row := out.data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += bias.data[j]
+		}
+	}
+	return out
+}
+
+func elementwise2(a, b *Tensor, name string, f func(x, y float32) float32) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", name, a.shape, b.shape))
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = f(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Tensor) *Tensor {
+	return elementwise2(a, b, "Add", func(x, y float32) float32 { return x + y })
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Tensor) *Tensor {
+	return elementwise2(a, b, "Sub", func(x, y float32) float32 { return x - y })
+}
+
+// Mul returns a * b element-wise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	return elementwise2(a, b, "Mul", func(x, y float32) float32 { return x * y })
+}
+
+// Scale returns s * a.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * s
+	}
+	return out
+}
+
+// AddInto accumulates src into dst in place; shapes must match.
+func AddInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: AddInto shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	for i := range dst.data {
+		dst.data[i] += src.data[i]
+	}
+}
+
+// Sigmoid returns the logistic function applied element-wise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return out
+}
+
+// Tanh returns tanh applied element-wise.
+func Tanh(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = float32(math.Tanh(float64(v)))
+	}
+	return out
+}
+
+// Relu returns max(0, x) element-wise.
+func Relu(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.data {
+		if v > 0 {
+			out.data[i] = v
+		}
+	}
+	return out
+}
+
+// Softmax applies a numerically stable softmax along the last axis of a
+// rank-2 tensor [rows, cols].
+func Softmax(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Softmax requires a rank-2 tensor")
+	}
+	rows, cols := a.shape[0], a.shape[1]
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		in := a.data[i*cols : (i+1)*cols]
+		o := out.data[i*cols : (i+1)*cols]
+		maxv := float32(math.Inf(-1))
+		for _, v := range in {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range in {
+			e := math.Exp(float64(v - maxv))
+			o[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+	return out
+}
+
+// Argmax returns, for each row of a rank-2 tensor, the index of its maximum
+// element as an int slice of length rows. Ties resolve to the lowest index,
+// matching the paper's custom argmax CUDA kernel semantics.
+func Argmax(a *Tensor) []int {
+	if a.Rank() != 2 {
+		panic("tensor: Argmax requires a rank-2 tensor")
+	}
+	rows, cols := a.shape[0], a.shape[1]
+	if cols == 0 {
+		panic("tensor: Argmax over empty rows")
+	}
+	out := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		row := a.data[i*cols : (i+1)*cols]
+		best, bestIdx := row[0], 0
+		for j := 1; j < cols; j++ {
+			if row[j] > best {
+				best, bestIdx = row[j], j
+			}
+		}
+		out[i] = bestIdx
+	}
+	return out
+}
+
+// ConcatRows stacks rank-2 tensors with equal column counts along axis 0.
+// This is the "gather" that assembles a batched cell input from per-request
+// rows (§4.3 locality discussion).
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	cols := -1
+	rows := 0
+	for _, t := range ts {
+		var r, c int
+		switch t.Rank() {
+		case 1:
+			r, c = 1, t.shape[0]
+		case 2:
+			r, c = t.shape[0], t.shape[1]
+		default:
+			panic("tensor: ConcatRows requires rank-1 or rank-2 tensors")
+		}
+		if cols == -1 {
+			cols = c
+		} else if cols != c {
+			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", cols, c))
+		}
+		rows += r
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, t := range ts {
+		copy(out.data[off:], t.data)
+		off += len(t.data)
+	}
+	return out
+}
+
+// ConcatCols concatenates rank-2 tensors with equal row counts along axis 1,
+// e.g. to form the [x, h] input of an LSTM gate matmul.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatCols of nothing")
+	}
+	rows := ts[0].shape[0]
+	cols := 0
+	for _, t := range ts {
+		if t.Rank() != 2 {
+			panic("tensor: ConcatCols requires rank-2 tensors")
+		}
+		if t.shape[0] != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", rows, t.shape[0]))
+		}
+		cols += t.shape[1]
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		off := i * cols
+		for _, t := range ts {
+			c := t.shape[1]
+			copy(out.data[off:off+c], t.data[i*c:(i+1)*c])
+			off += c
+		}
+	}
+	return out
+}
+
+// SplitCols splits a rank-2 tensor into len(widths) tensors along axis 1.
+// The widths must sum to the column count. Used to slice the fused LSTM gate
+// pre-activations into i, f, g, o.
+func SplitCols(a *Tensor, widths ...int) []*Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: SplitCols requires a rank-2 tensor")
+	}
+	total := 0
+	for _, w := range widths {
+		if w < 0 {
+			panic("tensor: SplitCols negative width")
+		}
+		total += w
+	}
+	if total != a.shape[1] {
+		panic(fmt.Sprintf("tensor: SplitCols widths %v do not sum to %d columns", widths, a.shape[1]))
+	}
+	rows := a.shape[0]
+	outs := make([]*Tensor, len(widths))
+	start := 0
+	for wi, w := range widths {
+		t := New(rows, w)
+		for i := 0; i < rows; i++ {
+			copy(t.data[i*w:(i+1)*w], a.data[i*a.shape[1]+start:i*a.shape[1]+start+w])
+		}
+		outs[wi] = t
+		start += w
+	}
+	return outs
+}
+
+// GatherRows returns a new tensor whose row i is a's row idx[i]. Indices may
+// repeat. Used both for embedding lookup (a = embedding table) and for
+// assembling batched inputs from scattered request state.
+func GatherRows(a *Tensor, idx []int) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: GatherRows requires a rank-2 tensor")
+	}
+	cols := a.shape[1]
+	out := New(len(idx), cols)
+	for i, r := range idx {
+		if r < 0 || r >= a.shape[0] {
+			panic(fmt.Sprintf("tensor: GatherRows index %d out of range [0,%d)", r, a.shape[0]))
+		}
+		copy(out.data[i*cols:(i+1)*cols], a.data[r*cols:(r+1)*cols])
+	}
+	return out
+}
+
+// ScatterRows copies each row i of src into dst's row idx[i]. It is the
+// inverse of GatherRows when idx has no duplicates; with duplicates, later
+// rows win.
+func ScatterRows(dst, src *Tensor, idx []int) {
+	if dst.Rank() != 2 || src.Rank() != 2 {
+		panic("tensor: ScatterRows requires rank-2 tensors")
+	}
+	if dst.shape[1] != src.shape[1] {
+		panic(fmt.Sprintf("tensor: ScatterRows column mismatch %d vs %d", dst.shape[1], src.shape[1]))
+	}
+	if len(idx) != src.shape[0] {
+		panic(fmt.Sprintf("tensor: ScatterRows needs %d indices, got %d", src.shape[0], len(idx)))
+	}
+	cols := dst.shape[1]
+	for i, r := range idx {
+		if r < 0 || r >= dst.shape[0] {
+			panic(fmt.Sprintf("tensor: ScatterRows index %d out of range [0,%d)", r, dst.shape[0]))
+		}
+		copy(dst.data[r*cols:(r+1)*cols], src.data[i*cols:(i+1)*cols])
+	}
+}
+
+// SliceRows returns a copy of rows [lo, hi) of a rank-2 tensor.
+func SliceRows(a *Tensor, lo, hi int) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: SliceRows requires a rank-2 tensor")
+	}
+	if lo < 0 || hi > a.shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows range [%d,%d) out of bounds for %d rows", lo, hi, a.shape[0]))
+	}
+	cols := a.shape[1]
+	out := New(hi-lo, cols)
+	copy(out.data, a.data[lo*cols:hi*cols])
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires a rank-2 tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements, accumulated in float64 for stability.
+func Sum(a *Tensor) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func MaxAbs(a *Tensor) float32 {
+	var m float32
+	for _, v := range a.data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

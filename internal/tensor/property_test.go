@@ -1,0 +1,198 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randTensor builds a small tensor with values derived from a seed, for use
+// inside testing/quick properties (quick generates the seeds and sizes).
+func randTensor(seed uint64, rows, cols int) *Tensor {
+	r := NewRNG(seed)
+	return RandUniform(r, 2, rows, cols)
+}
+
+func clampDim(d uint8) int { return int(d%7) + 1 }
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed uint64, rd, cd uint8) bool {
+		a := randTensor(seed, clampDim(rd), clampDim(cd))
+		return Transpose(Transpose(a)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulDistributesOverAdd(t *testing.T) {
+	// (a+b) @ c == a@c + b@c, within float tolerance.
+	f := func(seed uint64, md, kd, nd uint8) bool {
+		m, k, n := clampDim(md), clampDim(kd), clampDim(nd)
+		a := randTensor(seed, m, k)
+		b := randTensor(seed+1, m, k)
+		c := randTensor(seed+2, k, n)
+		lhs := MatMul(Add(a, b), c)
+		rhs := Add(MatMul(a, c), MatMul(b, c))
+		return lhs.AllClose(rhs, 1e-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulScaleCommutes(t *testing.T) {
+	// (s*a) @ b == s * (a @ b).
+	f := func(seed uint64, md, kd, nd uint8, sv int8) bool {
+		m, k, n := clampDim(md), clampDim(kd), clampDim(nd)
+		s := float32(sv) / 16
+		a := randTensor(seed, m, k)
+		b := randTensor(seed+1, k, n)
+		return MatMul(Scale(a, s), b).AllClose(Scale(MatMul(a, b), s), 1e-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropGatherScatterRoundTrip(t *testing.T) {
+	// Scattering a gather back through the same permutation restores rows.
+	f := func(seed uint64, rd, cd uint8) bool {
+		rows, cols := clampDim(rd)+1, clampDim(cd)
+		a := randTensor(seed, rows, cols)
+		// Build a permutation of row indices.
+		rng := NewRNG(seed ^ 0xABCD)
+		perm := make([]int, rows)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := rows - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		g := GatherRows(a, perm)
+		back := New(rows, cols)
+		ScatterRows(back, g, perm)
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropConcatSplitRoundTrip(t *testing.T) {
+	f := func(seed uint64, rd, c1d, c2d uint8) bool {
+		rows := clampDim(rd)
+		c1, c2 := clampDim(c1d), clampDim(c2d)
+		a := randTensor(seed, rows, c1)
+		b := randTensor(seed+1, rows, c2)
+		parts := SplitCols(ConcatCols(a, b), c1, c2)
+		return parts[0].Equal(a) && parts[1].Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropConcatRowsPreservesRows(t *testing.T) {
+	f := func(seed uint64, r1d, r2d, cd uint8) bool {
+		r1, r2, c := clampDim(r1d), clampDim(r2d), clampDim(cd)
+		a := randTensor(seed, r1, c)
+		b := randTensor(seed+1, r2, c)
+		j := ConcatRows(a, b)
+		if j.Dim(0) != r1+r2 {
+			return false
+		}
+		return SliceRows(j, 0, r1).Equal(a) && SliceRows(j, r1, r1+r2).Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSigmoidRangeAndMonotone(t *testing.T) {
+	f := func(xs []float32) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		a := FromSlice(xs, len(xs))
+		s := Sigmoid(a)
+		for i, v := range s.Data() {
+			if math.IsNaN(float64(v)) || v < 0 || v > 1 {
+				return false
+			}
+			_ = i
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTanhRange(t *testing.T) {
+	f := func(xs []float32) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, v := range Tanh(FromSlice(xs, len(xs))).Data() {
+			if math.IsNaN(float64(v)) || v < -1 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSoftmaxArgmaxAgree(t *testing.T) {
+	// Argmax of softmax equals argmax of logits (softmax is monotone).
+	f := func(seed uint64, rd, cd uint8) bool {
+		rows, cols := clampDim(rd), clampDim(cd)
+		a := randTensor(seed, rows, cols)
+		am1 := Argmax(a)
+		am2 := Argmax(Softmax(a))
+		for i := range am1 {
+			if am1[i] != am2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRNGDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 64; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

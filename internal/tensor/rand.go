@@ -1,0 +1,81 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (xorshift64*) used to
+// initialize weights reproducibly without importing math/rand, so that test
+// expectations and example outputs are stable across Go versions.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift must not be seeded with zero.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	// Draw u1 in (0, 1] to avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponential variate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// RandUniform fills a new tensor of the given shape with uniform values in
+// [-scale, scale).
+func RandUniform(r *RNG, scale float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32((r.Float64()*2 - 1)) * scale
+	}
+	return t
+}
+
+// RandNormal fills a new tensor with N(0, stddev^2) values.
+func RandNormal(r *RNG, stddev float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(r.NormFloat64()) * stddev
+	}
+	return t
+}
+
+// XavierInit returns a tensor of shape [fanIn, fanOut] initialized with the
+// Glorot-uniform scheme, the standard initialization for RNN cell weights.
+func XavierInit(r *RNG, fanIn, fanOut int) *Tensor {
+	scale := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	return RandUniform(r, scale, fanIn, fanOut)
+}

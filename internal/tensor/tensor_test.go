@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Rank() != 3 || a.Dim(0) != 2 || a.Dim(1) != 3 || a.Dim(2) != 4 {
+		t.Fatalf("bad shape: %v", a.Shape())
+	}
+	if a.Size() != 24 {
+		t.Fatalf("size = %d, want 24", a.Size())
+	}
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer expectPanic(t, "negative dimension")
+	New(2, -1)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "length mismatch")
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestFull(t *testing.T) {
+	a := Full(2.5, 3, 2)
+	for _, v := range a.Data() {
+		if v != 2.5 {
+			t.Fatalf("Full element = %v, want 2.5", v)
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(2, 3)
+	a.Set(7, 1, 2)
+	if got := a.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", got)
+	}
+	if got := a.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	a := New(2, 2)
+	defer expectPanic(t, "index out of range")
+	a.At(2, 0)
+}
+
+func TestAtWrongRankPanics(t *testing.T) {
+	a := New(2, 2)
+	defer expectPanic(t, "rank mismatch")
+	a.At(1)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Fatal("Reshape must share backing data")
+	}
+}
+
+func TestReshapeSizeMismatchPanics(t *testing.T) {
+	a := New(2, 3)
+	defer expectPanic(t, "size mismatch")
+	a.Reshape(4, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := a.Clone()
+	b.Set(5, 0)
+	if a.At(0) != 1 {
+		t.Fatal("Clone must not share data")
+	}
+	if !a.SameShape(b) {
+		t.Fatal("Clone must preserve shape")
+	}
+}
+
+func TestRowViewSharesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	r := a.Row(1)
+	if r.At(0) != 3 || r.At(1) != 4 {
+		t.Fatalf("Row(1) = %v", r.Data())
+	}
+	r.Set(9, 0)
+	if a.At(1, 0) != 9 {
+		t.Fatal("Row must be a view")
+	}
+	rs := a.RowSlice(0)
+	if rs[0] != 1 || rs[1] != 2 {
+		t.Fatalf("RowSlice(0) = %v", rs)
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1, 2}, 2)
+	c := FromSlice([]float32{1, 2.0001}, 2)
+	d := FromSlice([]float32{1, 2}, 1, 2)
+	if !a.Equal(b) {
+		t.Fatal("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Fatal("a should not equal c")
+	}
+	if a.Equal(d) {
+		t.Fatal("different shapes must not be Equal")
+	}
+	if !a.AllClose(c, 1e-3) {
+		t.Fatal("a should be close to c at 1e-3")
+	}
+	if a.AllClose(c, 1e-6) {
+		t.Fatal("a should not be close to c at 1e-6")
+	}
+	nan := FromSlice([]float32{float32(math.NaN()), 2}, 2)
+	if a.AllClose(nan, 1e9) {
+		t.Fatal("NaN must never be close")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromSlice([]float32{1, 2}, 2)
+	if s := small.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	large := New(100)
+	if s := large.String(); s == "" {
+		t.Fatal("empty String for large tensor")
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("expected panic: %s", what)
+	}
+}
