@@ -4,7 +4,17 @@
 // Protocol (one JSON object per line):
 //
 //	request:  {"ids": [4, 9, 2], "decode": 3}
-//	response: {"words": [7, 7, 2]} or {"error": "..."}
+//	response: {"words": [7, 7, 2]} or {"error": "...", "code": "..."}
+//
+// Error responses carry a machine-readable code so clients can react
+// without parsing text: "overloaded" (shed by admission control — back off
+// and retry), "expired" (deadline passed), "cancelled", "draining",
+// "stopped", "bad_request", or "internal". Overload is a structured
+// response, never a dropped connection.
+//
+// The -max-queue flag bounds concurrently admitted requests (0 =
+// unlimited); -deadline attaches a per-request SLA after which the server
+// stops spending batch slots on the request and answers "expired".
 //
 // Run `batchmaker -demo` to start the server, drive it with a built-in
 // concurrent client, print the batching statistics, and exit — a fully
@@ -15,6 +25,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -40,15 +51,48 @@ type apiRequest struct {
 type apiResponse struct {
 	Words []int  `json:"words,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Code classifies errors for programmatic clients; see the package
+	// comment for the vocabulary.
+	Code string `json:"code,omitempty"`
+}
+
+// Error codes of the TCP protocol.
+const (
+	codeBadRequest = "bad_request"
+	codeOverloaded = "overloaded"
+	codeExpired    = "expired"
+	codeCancelled  = "cancelled"
+	codeDraining   = "draining"
+	codeStopped    = "stopped"
+	codeInternal   = "internal"
+)
+
+// errorCode maps a serving error to its protocol code.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, server.ErrOverloaded):
+		return codeOverloaded
+	case errors.Is(err, server.ErrExpired), errors.Is(err, context.DeadlineExceeded):
+		return codeExpired
+	case errors.Is(err, server.ErrCancelled), errors.Is(err, context.Canceled):
+		return codeCancelled
+	case errors.Is(err, server.ErrDraining):
+		return codeDraining
+	case errors.Is(err, server.ErrStopped):
+		return codeStopped
+	}
+	return codeInternal
 }
 
 type app struct {
 	enc *rnn.EncoderCell
 	dec *rnn.DecoderCell
 	srv *server.Server
+	// deadline, when positive, is the per-request SLA.
+	deadline time.Duration
 }
 
-func newApp(vocab, embed, hidden, workers int) (*app, error) {
+func newApp(vocab, embed, hidden, workers, maxQueue int, deadline time.Duration) (*app, error) {
 	rng := tensor.NewRNG(2018)
 	enc := rnn.NewEncoderCell("encoder", vocab, embed, hidden, rng)
 	dec := rnn.NewDecoderCell("decoder", vocab, embed, hidden, rng)
@@ -58,27 +102,37 @@ func newApp(vocab, embed, hidden, workers int) (*app, error) {
 			{Cell: enc, MaxBatch: 64, Priority: 0},
 			{Cell: dec, MaxBatch: 32, Priority: 1},
 		},
+		MaxQueuedRequests: maxQueue,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &app{enc: enc, dec: dec, srv: srv}, nil
+	return &app{enc: enc, dec: dec, srv: srv, deadline: deadline}, nil
 }
 
 func (a *app) handle(ctx context.Context, req apiRequest) apiResponse {
 	if req.Decode <= 0 {
 		req.Decode = len(req.IDs)
 	}
+	var opts server.SubmitOpts
+	if a.deadline > 0 {
+		opts.Deadline = time.Now().Add(a.deadline)
+		// Bound the whole exchange (including dynamic generation, which
+		// submits one request per generated step) by the same SLA.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opts.Deadline)
+		defer cancel()
+	}
 	if req.UntilEOS {
 		return a.handleGenerate(ctx, req)
 	}
 	g, err := cellgraph.UnfoldSeq2Seq(a.enc, a.dec, req.IDs, req.Decode)
 	if err != nil {
-		return apiResponse{Error: err.Error()}
+		return apiResponse{Error: err.Error(), Code: codeBadRequest}
 	}
-	out, err := a.srv.Submit(ctx, g)
+	out, err := a.srv.SubmitOpts(ctx, g, opts)
 	if err != nil {
-		return apiResponse{Error: err.Error()}
+		return apiResponse{Error: err.Error(), Code: errorCode(err)}
 	}
 	words := make([]int, req.Decode)
 	for t := range words {
@@ -91,7 +145,7 @@ func (a *app) handle(ctx context.Context, req apiRequest) apiResponse {
 func (a *app) handleGenerate(ctx context.Context, req apiRequest) apiResponse {
 	prompt, err := cellgraph.UnfoldChainIDs(a.enc, req.IDs)
 	if err != nil {
-		return apiResponse{Error: err.Error()}
+		return apiResponse{Error: err.Error(), Code: codeBadRequest}
 	}
 	emitted, err := a.srv.Generate(ctx, server.GenerateSpec{
 		Prompt:     prompt,
@@ -104,7 +158,7 @@ func (a *app) handleGenerate(ctx context.Context, req apiRequest) apiResponse {
 		MaxSteps:   req.Decode,
 	})
 	if err != nil {
-		return apiResponse{Error: err.Error()}
+		return apiResponse{Error: err.Error(), Code: errorCode(err)}
 	}
 	words := make([]int, len(emitted))
 	for i, v := range emitted {
@@ -123,6 +177,7 @@ func (a *app) serveConn(conn net.Conn) {
 		resp := apiResponse{}
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			resp.Error = "bad request: " + err.Error()
+			resp.Code = codeBadRequest
 		} else {
 			resp = a.handle(context.Background(), req)
 		}
@@ -134,16 +189,18 @@ func (a *app) serveConn(conn net.Conn) {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7431", "listen address")
-		vocab   = flag.Int("vocab", 2000, "vocabulary size")
-		embed   = flag.Int("embed", 64, "embedding width")
-		hidden  = flag.Int("hidden", 256, "hidden width")
-		workers = flag.Int("workers", 2, "worker count")
-		demo    = flag.Bool("demo", false, "drive the server with a built-in client and exit")
+		addr     = flag.String("addr", "127.0.0.1:7431", "listen address")
+		vocab    = flag.Int("vocab", 2000, "vocabulary size")
+		embed    = flag.Int("embed", 64, "embedding width")
+		hidden   = flag.Int("hidden", 256, "hidden width")
+		workers  = flag.Int("workers", 2, "worker count")
+		maxQueue = flag.Int("max-queue", 0, "max concurrently admitted requests; excess is shed with code \"overloaded\" (0 = unlimited)")
+		deadline = flag.Duration("deadline", 0, "per-request SLA; expired requests stop batching and answer code \"expired\" (0 = none)")
+		demo     = flag.Bool("demo", false, "drive the server with a built-in client and exit")
 	)
 	flag.Parse()
 
-	a, err := newApp(*vocab, *embed, *hidden, *workers)
+	a, err := newApp(*vocab, *embed, *hidden, *workers, *maxQueue, *deadline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -173,9 +230,16 @@ func main() {
 	if err := runDemoClient(ln.Addr().String(), *vocab); err != nil {
 		log.Fatal(err)
 	}
+	// Graceful drain: let in-flight requests finish before reporting.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.srv.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
 	st := a.srv.Stats()
 	fmt.Printf("server stats: %d tasks, %d cells, batch histogram %v\n",
 		st.TasksRun, st.CellsRun, st.BatchSizes)
+	fmt.Printf("lifecycle: %s\n", st.Outcomes)
 }
 
 // runDemoClient fires concurrent translation requests at the server.

@@ -6,11 +6,14 @@ import (
 	"encoding/json"
 	"net"
 	"testing"
+	"time"
+
+	"batchmaker/internal/server"
 )
 
 func testApp(t *testing.T) *app {
 	t.Helper()
-	a, err := newApp(50, 8, 16, 1)
+	a, err := newApp(50, 8, 16, 1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +58,76 @@ func TestHandleUntilEOS(t *testing.T) {
 
 func TestHandleBadRequest(t *testing.T) {
 	a := testApp(t)
-	if resp := a.handle(context.Background(), apiRequest{IDs: nil}); resp.Error == "" {
-		t.Fatal("want error for empty source")
+	resp := a.handle(context.Background(), apiRequest{IDs: nil})
+	if resp.Error == "" || resp.Code != codeBadRequest {
+		t.Fatalf("want bad_request for empty source, got %+v", resp)
 	}
 	if resp := a.handle(context.Background(), apiRequest{IDs: []int{999}}); resp.Error == "" {
 		t.Fatal("want error for out-of-vocabulary id")
+	}
+}
+
+func TestHandleDeadlineExpiresWithCode(t *testing.T) {
+	// A 1ns SLA cannot be met: the request must be answered with a
+	// structured "expired" error, not a hang or a dropped connection.
+	a, err := newApp(50, 8, 16, 1, 0, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.srv.Stop)
+	resp := a.handle(context.Background(), apiRequest{IDs: []int{4, 5, 6}, Decode: 3})
+	if resp.Error == "" || resp.Code != codeExpired {
+		t.Fatalf("want expired code, got %+v", resp)
+	}
+}
+
+func TestHandleOverloadedWithCode(t *testing.T) {
+	// With an admission cap of 1 and a server whose only worker is kept
+	// busy, the second concurrent request must be shed as "overloaded".
+	a, err := newApp(50, 8, 16, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.srv.Stop()
+	// Swap in a server whose cells sleep, so the first request provably
+	// occupies the single admission slot while the probe runs.
+	faults := server.NewRandomFaults(1)
+	faults.PDelay = 1
+	faults.Delay = 20 * time.Millisecond
+	srv, err := server.New(server.Config{
+		Workers: 1,
+		Cells: []server.CellSpec{
+			{Cell: a.enc, MaxBatch: 64, Priority: 0},
+			{Cell: a.dec, MaxBatch: 32, Priority: 1},
+		},
+		MaxQueuedRequests: 1,
+		Faults:            faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.srv = srv
+	t.Cleanup(srv.Stop)
+
+	first := make(chan apiResponse, 1)
+	go func() {
+		first <- a.handle(context.Background(), apiRequest{IDs: []int{4, 5, 6}, Decode: 5})
+	}()
+	// Probe only once the first request occupies the admission slot.
+	for a.srv.Stats().LiveRequests == 0 {
+		select {
+		case r := <-first:
+			t.Fatalf("long request resolved before being observed live: %+v", r)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	resp := a.handle(context.Background(), apiRequest{IDs: []int{7}, Decode: 1})
+	if resp.Code != codeOverloaded {
+		t.Fatalf("want overloaded code, got %+v", resp)
+	}
+	if r := <-first; r.Error != "" {
+		t.Fatalf("admitted request failed: %+v", r)
 	}
 }
 

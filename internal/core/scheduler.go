@@ -144,6 +144,7 @@ type Scheduler struct {
 	nextSub    SubgraphID
 	nextTask   TaskID
 	liveByID   map[SubgraphID]*subgraph
+	byReq      map[RequestID]map[SubgraphID]*subgraph
 	inflight   map[TaskID]*Task
 	totalReady int
 }
@@ -160,6 +161,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		cfg:      cfg,
 		types:    make(map[string]*cellType, len(cfg.Types)),
 		liveByID: make(map[SubgraphID]*subgraph),
+		byReq:    make(map[RequestID]map[SubgraphID]*subgraph),
 		inflight: make(map[TaskID]*Task),
 	}
 	for _, tc := range cfg.Types {
@@ -241,7 +243,55 @@ func (s *Scheduler) AddSubgraph(spec SubgraphSpec) (SubgraphID, error) {
 	ct.readyNodes += len(sg.ready)
 	s.totalReady += len(sg.ready)
 	s.liveByID[sg.id] = sg
+	if s.byReq[sg.req] == nil {
+		s.byReq[sg.req] = make(map[SubgraphID]*subgraph)
+	}
+	s.byReq[sg.req][sg.id] = sg
 	return sg.id, nil
+}
+
+// CancelRequest purges every queued (not-yet-issued) node of the request's
+// registered subgraphs from the ready queues, so cancelled or expired
+// requests stop competing for batch slots. Nodes already placed into
+// in-flight tasks are untouched — the engine's execution path is expected to
+// skip them (the server drops rows of dead requests at gather time) and the
+// subgraphs retire through the normal TaskCompleted path once their last
+// in-flight task drains. It returns the number of unissued nodes purged;
+// zero means the scheduler held nothing for the request.
+func (s *Scheduler) CancelRequest(req RequestID) int {
+	subs := s.byReq[req]
+	if len(subs) == 0 {
+		return 0
+	}
+	delete(s.byReq, req)
+	purged := 0
+	touched := make(map[string]bool)
+	for _, sg := range subs {
+		ct := s.types[sg.typeKey]
+		ct.readyNodes -= len(sg.ready)
+		s.totalReady -= len(sg.ready)
+		purged += sg.unissued
+		sg.ready = nil
+		sg.unissued = 0
+		if sg.inflight == 0 {
+			// Nothing running references this subgraph: retire it now.
+			delete(s.liveByID, sg.id)
+			touched[sg.typeKey] = true
+		}
+		// Otherwise TaskCompleted retires it when the last task drains
+		// (unissued is now 0, so no further tasks can pick it up).
+	}
+	for key := range touched {
+		ct := s.types[key]
+		live := ct.queue[:0]
+		for _, sg := range ct.queue {
+			if sg.unissued > 0 || sg.inflight > 0 {
+				live = append(live, sg)
+			}
+		}
+		ct.queue = live
+	}
+	return purged
 }
 
 // Schedule implements Algorithm 1's Schedule function: pick a cell type for
@@ -402,6 +452,12 @@ func (s *Scheduler) TaskCompleted(id TaskID) error {
 			sg.pinned = NoWorker
 			if sg.unissued == 0 {
 				delete(s.liveByID, sg.id)
+				if m := s.byReq[sg.req]; m != nil {
+					delete(m, sg.id)
+					if len(m) == 0 {
+						delete(s.byReq, sg.req)
+					}
+				}
 				retire = true
 			}
 		}
@@ -441,6 +497,10 @@ func (s *Scheduler) TotalReady() int { return s.totalReady }
 // LiveSubgraphs returns how many subgraphs are registered and not yet
 // retired.
 func (s *Scheduler) LiveSubgraphs() int { return len(s.liveByID) }
+
+// RequestSubgraphs returns how many cancellable subgraphs the scheduler
+// still holds for a request (0 after CancelRequest or full retirement).
+func (s *Scheduler) RequestSubgraphs(req RequestID) int { return len(s.byReq[req]) }
 
 // InflightTasks returns the number of submitted-but-uncompleted tasks.
 func (s *Scheduler) InflightTasks() int { return len(s.inflight) }

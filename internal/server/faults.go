@@ -1,0 +1,124 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"batchmaker/internal/tensor"
+)
+
+// FaultKind classifies one injected disturbance of a task execution.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultNone leaves the execution alone.
+	FaultNone FaultKind = iota
+	// FaultError makes the Step fail with a non-retryable error, failing
+	// every request in the batch.
+	FaultError
+	// FaultTransient makes the Step fail with an error marked transient;
+	// the worker retries the task with exponential backoff up to
+	// Config.MaxRetries before giving up.
+	FaultTransient
+	// FaultPanic makes the cell panic mid-Step. The worker recovers,
+	// converts it into per-request failures, and stays alive.
+	FaultPanic
+	// FaultDelay injects a latency spike before the Step runs.
+	FaultDelay
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultError:
+		return "error"
+	case FaultTransient:
+		return "transient"
+	case FaultPanic:
+		return "panic"
+	case FaultDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// FaultDecision is one injector verdict for one execution attempt.
+type FaultDecision struct {
+	Kind FaultKind
+	// Err overrides the injected error text for FaultError/FaultTransient.
+	Err error
+	// Delay is the latency spike for FaultDelay.
+	Delay time.Duration
+}
+
+// FaultInjector decides, per task execution attempt, whether to disturb it.
+// Implementations must be safe for concurrent use: every worker goroutine
+// consults the injector, and retried attempts consult it again.
+type FaultInjector interface {
+	Inject(typeKey string, batch int) FaultDecision
+}
+
+// ErrInjected is the default error wrapped into injected faults, so tests
+// can tell injected failures from real ones.
+var ErrInjected = errors.New("server: injected fault")
+
+// TransientError marks a Step error as retryable. The scheduler-side retry
+// loop retries only errors wrapped in this type; anything else fails the
+// batch's requests immediately.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *TransientError
+	return errors.As(err, &t)
+}
+
+// RandomFaults is a seeded, concurrency-safe FaultInjector that disturbs
+// each execution attempt independently with the configured probabilities
+// (checked in order: error, transient, panic, delay). The zero value
+// injects nothing.
+type RandomFaults struct {
+	// PError, PTransient, PPanic and PDelay are per-attempt probabilities
+	// in [0,1].
+	PError, PTransient, PPanic, PDelay float64
+	// Delay is the latency spike injected for delay faults.
+	Delay time.Duration
+
+	mu  sync.Mutex
+	rng *tensor.RNG
+}
+
+// NewRandomFaults builds a RandomFaults with a deterministic seed.
+func NewRandomFaults(seed uint64) *RandomFaults {
+	return &RandomFaults{rng: tensor.NewRNG(seed)}
+}
+
+// Inject implements FaultInjector.
+func (f *RandomFaults) Inject(typeKey string, batch int) FaultDecision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng == nil {
+		f.rng = tensor.NewRNG(1)
+	}
+	p := f.rng.Float64()
+	switch {
+	case p < f.PError:
+		return FaultDecision{Kind: FaultError}
+	case p < f.PError+f.PTransient:
+		return FaultDecision{Kind: FaultTransient}
+	case p < f.PError+f.PTransient+f.PPanic:
+		return FaultDecision{Kind: FaultPanic}
+	case p < f.PError+f.PTransient+f.PPanic+f.PDelay:
+		return FaultDecision{Kind: FaultDelay, Delay: f.Delay}
+	}
+	return FaultDecision{}
+}

@@ -9,6 +9,21 @@
 // execute the batched cells with real math, and every request's results are
 // bit-identical to unbatched execution (tested) while departing as soon as
 // its last cell finishes.
+//
+// Beyond the paper's always-healthy open-loop evaluation, the server
+// carries a request-lifecycle robustness layer: admission control with load
+// shedding (ErrOverloaded), per-request deadlines, caller cancellation that
+// purges queued work from the scheduler, graceful drain, and fault-injected
+// recovery (transient-error retry and cell-panic containment). Every
+// admitted request resolves exactly once as completed, failed, expired, or
+// cancelled:
+//
+//	submitted ──shed──▶ rejected (never admitted)
+//	    │
+//	admitted ──▶ running ──▶ completed
+//	                │────▶ cancelled   (Handle.Cancel / Submit ctx)
+//	                │────▶ expired     (SubmitOpts.Deadline passed)
+//	                └────▶ failed      (Step error, cell panic, Stop)
 package server
 
 import (
@@ -20,13 +35,31 @@ import (
 
 	"batchmaker/internal/cellgraph"
 	"batchmaker/internal/core"
+	"batchmaker/internal/metrics"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/tensor"
 )
 
-// ErrStopped is returned for requests submitted to (or still queued in) a
-// stopped server.
-var ErrStopped = errors.New("server: stopped")
+// Lifecycle errors. ErrOverloaded, ErrDraining and ErrStopped are admission
+// rejections (the request never entered the system); ErrExpired, ErrCancelled
+// and ErrCellPanic terminate admitted requests.
+var (
+	// ErrStopped is returned for requests submitted to (or still live in) a
+	// stopped server.
+	ErrStopped = errors.New("server: stopped")
+	// ErrOverloaded sheds a request at admission when the configured queue
+	// bounds are exceeded. Callers should back off and retry.
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrDraining rejects new requests while a graceful drain is underway.
+	ErrDraining = errors.New("server: draining")
+	// ErrExpired terminates a request whose deadline passed before its last
+	// cell executed.
+	ErrExpired = errors.New("server: deadline exceeded")
+	// ErrCancelled terminates a request cancelled by its caller.
+	ErrCancelled = errors.New("server: cancelled")
+	// ErrCellPanic wraps a cell panic recovered by a worker.
+	ErrCellPanic = errors.New("server: cell panicked")
+)
 
 // CellSpec registers one cell type with the server.
 type CellSpec struct {
@@ -51,6 +84,25 @@ type Config struct {
 	// TraceCapacity, when positive, enables execution tracing with a ring
 	// buffer of that many events (see Trace).
 	TraceCapacity int
+
+	// MaxQueuedRequests, when positive, bounds live (admitted, unresolved)
+	// requests; submissions past the bound are shed with ErrOverloaded.
+	MaxQueuedRequests int
+	// MaxQueuedCells, when positive, bounds the backlog of admitted
+	// not-yet-executed cell nodes — a size-aware complement to
+	// MaxQueuedRequests (one 3000-cell chain loads the server like
+	// hundreds of small requests).
+	MaxQueuedCells int
+
+	// Faults, when non-nil, is consulted before every task execution
+	// attempt — the chaos hook used to test recovery paths.
+	Faults FaultInjector
+	// MaxRetries bounds retries of transient task errors (see
+	// TransientError). 0 means a default of 3; negative disables retry.
+	MaxRetries int
+	// RetryBackoff is the first retry's backoff, doubled per attempt
+	// (default 500µs).
+	RetryBackoff time.Duration
 }
 
 type request struct {
@@ -60,27 +112,43 @@ type request struct {
 	done    chan struct{}
 	results map[string]*tensor.Tensor
 	err     error
+	// deadline, when nonzero, expires the request (checked at every
+	// scheduling round and at task gather time).
+	deadline time.Time
 }
 
 // Server is a live cellular-batching inference server.
 type Server struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	sched   *core.Scheduler
-	cells   map[string]rnn.Cell
-	reqs    map[core.RequestID]*request
-	nextID  core.RequestID
-	stopped bool
-	wg      sync.WaitGroup
+	mu        sync.Mutex
+	cond      *sync.Cond
+	sched     *core.Scheduler
+	cells     map[string]rnn.Cell
+	reqs      map[core.RequestID]*request
+	deadlined map[core.RequestID]*request // live requests with deadlines
+	nextID    core.RequestID
+	stopped   bool
+	draining  bool
+	wg        sync.WaitGroup
+
+	cfg          Config
+	faults       FaultInjector
+	maxRetries   int
+	retryBackoff time.Duration
+	// admitFault, when non-nil, can fail individual AddSubgraph calls — a
+	// test seam for the partial-admission rollback path.
+	admitFault func(core.SubgraphSpec) error
 
 	// stats
-	tasksRun  int
-	cellsRun  int
-	batchesBy map[int]int // batch size -> count
-	trace     *traceRing
+	tasksRun    int
+	cellsRun    int
+	queuedCells int         // admitted, not-yet-executed cell nodes
+	batchesBy   map[int]int // batch size -> count
+	outcomes    metrics.Outcomes
+	quarantined map[string]int // cell type -> recovered panic count
+	trace       *traceRing
 }
 
-// New builds and starts a server. Call Stop to shut it down.
+// New builds and starts a server. Call Stop (or Drain) to shut it down.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("server: Workers must be positive")
@@ -110,12 +178,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	maxRetries := cfg.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = 3
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 500 * time.Microsecond
+	}
 	s := &Server{
-		sched:     sched,
-		cells:     cells,
-		reqs:      make(map[core.RequestID]*request),
-		batchesBy: make(map[int]int),
-		trace:     newTraceRing(cfg.TraceCapacity),
+		sched:        sched,
+		cells:        cells,
+		reqs:         make(map[core.RequestID]*request),
+		deadlined:    make(map[core.RequestID]*request),
+		cfg:          cfg,
+		faults:       cfg.Faults,
+		maxRetries:   maxRetries,
+		retryBackoff: backoff,
+		batchesBy:    make(map[int]int),
+		quarantined:  make(map[string]int),
+		trace:        newTraceRing(cfg.TraceCapacity),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < cfg.Workers; w++ {
@@ -125,8 +210,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Stop shuts the server down. In-flight requests are failed with
-// ErrStopped. Stop blocks until all workers exit.
+// Stop shuts the server down fail-fast: in-flight requests are failed with
+// ErrStopped and their queued work is purged from the scheduler. Stop blocks
+// until all workers exit; tasks already mid-execution are completed against
+// the scheduler (discarding their outputs) so its bookkeeping drains clean.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -136,21 +223,56 @@ func (s *Server) Stop() {
 	}
 	s.stopped = true
 	for _, r := range s.reqs {
-		r.err = ErrStopped
-		close(r.done)
+		s.sched.CancelRequest(r.id)
+		s.outcomes.Failed++
+		s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
+		s.resolve(r, ErrStopped)
 	}
-	s.reqs = map[core.RequestID]*request{}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
 }
 
+// Drain gracefully shuts the server down: admission stops immediately
+// (submissions fail with ErrDraining), in-flight requests run to
+// resolution, then workers are stopped. The wait is bounded by ctx — on
+// expiry Drain falls back to Stop's fail-fast semantics, failing whatever
+// is still live, and returns the context error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.stopped && !s.draining {
+		s.draining = true
+		s.trace.add(Event{At: time.Now(), Kind: EventDrain})
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.mu.Lock()
+		for !s.stopped && len(s.reqs) > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	}()
+	var ctxErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+	}
+	s.Stop()
+	<-done
+	return ctxErr
+}
+
 // Handle tracks one asynchronously submitted request.
 type Handle struct {
+	s   *Server
 	req *request
 }
 
-// Done is closed when the request completes (or fails).
+// Done is closed when the request resolves (results, error, cancellation,
+// expiry, or server stop).
 func (h *Handle) Done() <-chan struct{} { return h.req.done }
 
 // Result returns the request's outputs after Done is closed. Calling it
@@ -164,15 +286,75 @@ func (h *Handle) Result() (map[string]*tensor.Tensor, error) {
 	}
 }
 
+// Cancel terminates the request if it has not resolved yet: its queued
+// nodes are purged from the scheduler's ready queues (freeing their batch
+// slots), nodes already inside in-flight batched tasks are skipped at
+// execution, and the request resolves with ErrCancelled. It reports whether
+// this call cancelled the request (false if it had already resolved).
+func (h *Handle) Cancel() bool {
+	return h.s.terminate(h.req, ErrCancelled)
+}
+
+// terminate resolves a live request early with ErrCancelled or ErrExpired.
+func (s *Server) terminate(r *request, cause error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, live := s.reqs[r.id]; !live {
+		return false
+	}
+	s.sched.CancelRequest(r.id)
+	kind := EventCancel
+	if errors.Is(cause, ErrExpired) {
+		kind = EventExpire
+		s.outcomes.Expired++
+	} else {
+		s.outcomes.Cancelled++
+	}
+	s.trace.add(Event{At: time.Now(), Kind: kind, Req: r.id})
+	s.resolve(r, cause)
+	return true
+}
+
+// SubmitOpts carries per-request lifecycle options.
+type SubmitOpts struct {
+	// Deadline, when nonzero, is the request's SLA: once it passes, the
+	// request stops consuming batch slots (its queued nodes are purged
+	// before the next task forms) and resolves with ErrExpired.
+	Deadline time.Time
+}
+
 // SubmitAsync registers a request's cell graph for execution and returns
 // immediately with a handle. The graph must be valid; nodes must use cell
 // types registered at construction. Enqueueing many requests before waiting
 // lets them join each other's batches even from a single caller goroutine.
 func (s *Server) SubmitAsync(g *cellgraph.Graph) (*Handle, error) {
+	return s.SubmitAsyncOpts(g, SubmitOpts{})
+}
+
+// SubmitAsyncOpts is SubmitAsync with lifecycle options.
+func (s *Server) SubmitAsyncOpts(g *cellgraph.Graph, opts SubmitOpts) (*Handle, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopped {
 		return nil, ErrStopped
+	}
+	if s.draining {
+		s.reject()
+		return nil, ErrDraining
+	}
+	if n := s.cfg.MaxQueuedRequests; n > 0 && len(s.reqs) >= n {
+		s.reject()
+		return nil, fmt.Errorf("%w: %d requests queued (max %d)", ErrOverloaded, len(s.reqs), n)
+	}
+	if n := s.cfg.MaxQueuedCells; n > 0 && s.queuedCells+len(g.Nodes) > n {
+		s.reject()
+		return nil, fmt.Errorf("%w: %d cells queued, request adds %d (max %d)", ErrOverloaded, s.queuedCells, len(g.Nodes), n)
+	}
+	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+		// Dead on arrival: shed rather than admit work that cannot meet
+		// its SLA.
+		s.reject()
+		return nil, fmt.Errorf("%w: deadline passed before admission", ErrExpired)
 	}
 	for _, n := range g.Nodes {
 		if _, ok := s.cells[n.Cell.TypeKey()]; !ok {
@@ -189,23 +371,57 @@ func (s *Server) SubmitAsync(g *cellgraph.Graph) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	req := &request{id: id, tracker: tracker, state: state, done: make(chan struct{})}
+	req := &request{id: id, tracker: tracker, state: state, done: make(chan struct{}), deadline: opts.Deadline}
 	s.reqs[id] = req
 	for _, spec := range tracker.InitialSubgraphs() {
-		if _, err := s.sched.AddSubgraph(spec); err != nil {
+		if err := s.addSubgraph(spec); err != nil {
+			// Roll back earlier subgraphs of this request so none stay
+			// registered without an owning request.
+			s.sched.CancelRequest(id)
 			delete(s.reqs, id)
 			return nil, err
 		}
 	}
+	if !opts.Deadline.IsZero() {
+		s.deadlined[id] = req
+	}
+	s.queuedCells += len(g.Nodes)
+	s.outcomes.Admitted++
 	s.trace.add(Event{At: time.Now(), Kind: EventAdmit, Req: id})
 	s.cond.Broadcast()
-	return &Handle{req: req}, nil
+	return &Handle{s: s, req: req}, nil
+}
+
+// addSubgraph registers one subgraph, honoring the admission fault seam.
+// Caller holds s.mu.
+func (s *Server) addSubgraph(spec core.SubgraphSpec) error {
+	if s.admitFault != nil {
+		if err := s.admitFault(spec); err != nil {
+			return err
+		}
+	}
+	_, err := s.sched.AddSubgraph(spec)
+	return err
+}
+
+// reject records one shed submission. Caller holds s.mu.
+func (s *Server) reject() {
+	s.outcomes.Rejected++
+	s.trace.add(Event{At: time.Now(), Kind: EventReject})
 }
 
 // Submit enqueues a request's cell graph and blocks until its results are
 // ready, the context is cancelled, or the server stops.
 func (s *Server) Submit(ctx context.Context, g *cellgraph.Graph) (map[string]*tensor.Tensor, error) {
-	h, err := s.SubmitAsync(g)
+	return s.SubmitOpts(ctx, g, SubmitOpts{})
+}
+
+// SubmitOpts is Submit with lifecycle options. Context cancellation
+// propagates into the scheduler: the request's queued nodes are purged so
+// they stop occupying batch slots, and the request resolves with
+// ErrCancelled (ErrExpired for a deadline-shaped cause).
+func (s *Server) SubmitOpts(ctx context.Context, g *cellgraph.Graph, opts SubmitOpts) (map[string]*tensor.Tensor, error) {
+	h, err := s.SubmitAsyncOpts(g, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -213,9 +429,13 @@ func (s *Server) Submit(ctx context.Context, g *cellgraph.Graph) (map[string]*te
 	case <-h.req.done:
 		return h.req.results, h.req.err
 	case <-ctx.Done():
-		// The request keeps executing internally (a batched task cannot be
-		// torn apart), but the caller stops waiting.
-		return nil, ctx.Err()
+		cause := ctx.Err()
+		if errors.Is(cause, context.DeadlineExceeded) {
+			s.terminate(h.req, fmt.Errorf("%w: %v", ErrExpired, cause))
+		} else {
+			s.terminate(h.req, fmt.Errorf("%w: %v", ErrCancelled, cause))
+		}
+		return nil, cause
 	}
 }
 
@@ -231,6 +451,7 @@ func (s *Server) worker(id core.WorkerID) {
 				s.mu.Unlock()
 				return
 			}
+			s.sweepExpired()
 			tasks = s.sched.Schedule(id)
 			if len(tasks) > 0 {
 				break
@@ -244,6 +465,31 @@ func (s *Server) worker(id core.WorkerID) {
 	}
 }
 
+// sweepExpired expires deadline-carrying requests before tasks are formed,
+// so their nodes never enter a batch. Caller holds s.mu.
+func (s *Server) sweepExpired() {
+	if len(s.deadlined) == 0 {
+		return
+	}
+	now := time.Now()
+	for _, r := range s.deadlined {
+		if now.After(r.deadline) {
+			s.expire(r)
+		}
+	}
+}
+
+// expire resolves a live request with ErrExpired. Caller holds s.mu.
+func (s *Server) expire(r *request) {
+	if _, live := s.reqs[r.id]; !live {
+		return
+	}
+	s.sched.CancelRequest(r.id)
+	s.outcomes.Expired++
+	s.trace.add(Event{At: time.Now(), Kind: EventExpire, Req: r.id})
+	s.resolve(r, fmt.Errorf("%w: deadline %v passed", ErrExpired, r.deadline.Format(time.RFC3339Nano)))
+}
+
 // execTask gathers the batched inputs, runs the cell, scatters the outputs
 // and updates dependencies — the worker + request-processor workflow.
 func (s *Server) execTask(task *core.Task) {
@@ -252,25 +498,30 @@ func (s *Server) execTask(task *core.Task) {
 	// Gather: assemble contiguous batched inputs from scattered per-request
 	// rows (the memory-copy step of §4.3).
 	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		return
-	}
 	type nodeRef struct {
 		req  *request
 		node cellgraph.NodeID
 	}
 	refs := make([]nodeRef, 0, len(task.Nodes))
+	now := time.Now()
 	for _, nr := range task.Nodes {
 		req, ok := s.reqs[nr.Req]
 		if !ok {
-			// The request was failed earlier (e.g. a previous task's Step
-			// error); skip its nodes but keep the rest of the batch.
+			// The request resolved earlier (cancelled, expired, failed, or
+			// the server stopped); skip its nodes but keep the rest of the
+			// batch.
+			continue
+		}
+		if !req.deadline.IsZero() && now.After(req.deadline) {
+			s.expire(req)
 			continue
 		}
 		refs = append(refs, nodeRef{req: req, node: nr.Node})
 	}
-	if len(refs) == 0 {
+	if len(refs) == 0 || s.stopped {
+		// Nothing left to run (or shutdown won the race while this task
+		// was queued on the worker): still complete the task so the
+		// scheduler's pin and in-flight bookkeeping drains clean.
 		if err := s.sched.TaskCompleted(task.ID); err != nil {
 			panic(err)
 		}
@@ -289,12 +540,20 @@ func (s *Server) execTask(task *core.Task) {
 	}
 	s.mu.Unlock()
 
-	// Execute outside the lock: this is the GPU kernel.
-	outs, stepErr := cell.Step(inputs)
+	// Execute outside the lock: this is the GPU kernel. runStep layers
+	// fault injection, panic containment and transient-error retry around
+	// the raw cell.Step.
+	outs, stepErr := s.runStep(cell, task, inputs, len(refs))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopped {
+		// Shutdown raced the execution: requests are already resolved with
+		// ErrStopped; discard the outputs but keep the scheduler clean.
+		if err := s.sched.TaskCompleted(task.ID); err != nil {
+			panic(err)
+		}
+		s.cond.Broadcast()
 		return
 	}
 	s.tasksRun++
@@ -305,6 +564,10 @@ func (s *Server) execTask(task *core.Task) {
 		Worker: task.Worker, TypeKey: task.TypeKey, Batch: len(refs),
 	})
 	for i, r := range refs {
+		if _, live := s.reqs[r.req.id]; !live {
+			// A sibling row's failure already resolved this request.
+			continue
+		}
 		if stepErr != nil {
 			s.failRequest(r.req, fmt.Errorf("server: executing %s: %w", cell.Name(), stepErr))
 			continue
@@ -319,18 +582,22 @@ func (s *Server) execTask(task *core.Task) {
 			s.failRequest(r.req, err)
 			continue
 		}
+		s.queuedCells--
 		for _, spec := range released {
-			if _, err := s.sched.AddSubgraph(spec); err != nil {
+			if err := s.addSubgraph(spec); err != nil {
+				// failRequest purges this request's earlier subgraphs; do
+				// not register later ones for the now-dead request.
 				s.failRequest(r.req, err)
+				break
 			}
 		}
 		if r.req.tracker.Finished() {
 			// Return immediately: the request does not wait for others in
 			// the batch.
 			r.req.results = r.req.state.Results()
-			close(r.req.done)
-			delete(s.reqs, r.req.id)
+			s.outcomes.Completed++
 			s.trace.add(Event{At: time.Now(), Kind: EventComplete, Req: r.req.id})
+			s.resolve(r.req, nil)
 		}
 	}
 	if err := s.sched.TaskCompleted(task.ID); err != nil {
@@ -341,23 +608,105 @@ func (s *Server) execTask(task *core.Task) {
 	s.cond.Broadcast()
 }
 
-// failRequest finalizes a request with an error. Caller holds s.mu.
+// runStep executes one task attempt chain: consult the fault injector,
+// contain panics, and retry transient errors with exponential backoff.
+func (s *Server) runStep(cell rnn.Cell, task *core.Task, inputs map[string]*tensor.Tensor, batch int) (map[string]*tensor.Tensor, error) {
+	backoff := s.retryBackoff
+	for attempt := 0; ; attempt++ {
+		outs, err := s.stepOnce(cell, task, inputs, batch)
+		if err == nil || !IsTransient(err) || attempt >= s.maxRetries {
+			return outs, err
+		}
+		s.mu.Lock()
+		s.outcomes.Retries++
+		s.trace.add(Event{
+			At: time.Now(), Kind: EventRetry,
+			Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
+		})
+		s.mu.Unlock()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// stepOnce is one execution attempt. A panicking cell (injected or real) is
+// recovered here — the worker survives, the batch's requests fail, and the
+// cell's quarantine counter grows.
+func (s *Server) stepOnce(cell rnn.Cell, task *core.Task, inputs map[string]*tensor.Tensor, batch int) (outs map[string]*tensor.Tensor, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.mu.Lock()
+			s.outcomes.RecoveredPanics++
+			s.quarantined[task.TypeKey]++
+			s.trace.add(Event{
+				At: time.Now(), Kind: EventPanic,
+				Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
+			})
+			s.mu.Unlock()
+			err = fmt.Errorf("%w: %s: %v", ErrCellPanic, cell.Name(), p)
+			outs = nil
+		}
+	}()
+	if s.faults != nil {
+		switch d := s.faults.Inject(task.TypeKey, batch); d.Kind {
+		case FaultDelay:
+			time.Sleep(d.Delay)
+		case FaultError:
+			if d.Err != nil {
+				return nil, d.Err
+			}
+			return nil, ErrInjected
+		case FaultTransient:
+			if d.Err != nil {
+				return nil, &TransientError{Err: d.Err}
+			}
+			return nil, &TransientError{Err: ErrInjected}
+		case FaultPanic:
+			panic(ErrInjected)
+		}
+	}
+	return cell.Step(inputs)
+}
+
+// failRequest finalizes a request with an execution error, purging its
+// queued work from the scheduler. Caller holds s.mu.
 func (s *Server) failRequest(r *request, err error) {
 	if _, live := s.reqs[r.id]; !live {
 		return
 	}
+	s.sched.CancelRequest(r.id)
+	s.outcomes.Failed++
+	s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
+	s.resolve(r, err)
+}
+
+// resolve is the single exit point of a live request: it records the
+// outcome, releases waiters, and updates backlog accounting. Caller holds
+// s.mu and has already classified the outcome (counter + trace event).
+func (s *Server) resolve(r *request, err error) {
 	r.err = err
 	close(r.done)
 	delete(s.reqs, r.id)
-	s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
+	delete(s.deadlined, r.id)
+	s.queuedCells -= r.tracker.Remaining()
+	s.cond.Broadcast()
 }
 
 // Stats reports execution counters.
 type Stats struct {
-	TasksRun     int
-	CellsRun     int
-	BatchSizes   map[int]int
+	TasksRun   int
+	CellsRun   int
+	BatchSizes map[int]int
+	// LiveRequests counts admitted, unresolved requests.
 	LiveRequests int
+	// QueuedCells counts admitted, not-yet-executed cell nodes (the
+	// backlog MaxQueuedCells bounds).
+	QueuedCells int
+	// Outcomes breaks down how requests entered and left the system.
+	Outcomes metrics.Outcomes
+	// Quarantined counts recovered panics per cell type — a persistently
+	// growing entry points at a broken kernel.
+	Quarantined map[string]int
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -368,10 +717,26 @@ func (s *Server) Stats() Stats {
 	for k, v := range s.batchesBy {
 		by[k] = v
 	}
+	q := make(map[string]int, len(s.quarantined))
+	for k, v := range s.quarantined {
+		q[k] = v
+	}
 	return Stats{
 		TasksRun:     s.tasksRun,
 		CellsRun:     s.cellsRun,
 		BatchSizes:   by,
 		LiveRequests: len(s.reqs),
+		QueuedCells:  s.queuedCells,
+		Outcomes:     s.outcomes,
+		Quarantined:  q,
 	}
+}
+
+// SchedulerClean reports whether the scheduler's queues and bookkeeping
+// drained to empty — the invariant shutdown must restore. Exposed for
+// tests and shutdown assertions.
+func (s *Server) SchedulerClean() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.InflightTasks() == 0 && s.sched.LiveSubgraphs() == 0 && s.sched.TotalReady() == 0
 }

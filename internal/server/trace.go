@@ -11,12 +11,27 @@ import (
 // EventKind discriminates trace events.
 type EventKind int
 
-// Trace event kinds.
+// Trace event kinds. The lifecycle kinds (admit, complete, fail, reject,
+// expire, cancel) together tell each request's full story; the task kinds
+// (task, retry, panic) tell each worker's.
 const (
 	EventAdmit EventKind = iota
 	EventTaskExec
 	EventComplete
 	EventFail
+	// EventReject records a request shed at admission (overload or drain);
+	// the request never received an ID.
+	EventReject
+	// EventExpire records a request terminated because its deadline passed.
+	EventExpire
+	// EventCancel records a caller-initiated cancellation.
+	EventCancel
+	// EventRetry records one retried transient task error.
+	EventRetry
+	// EventPanic records a cell panic recovered by a worker.
+	EventPanic
+	// EventDrain records the start of a graceful drain.
+	EventDrain
 )
 
 func (k EventKind) String() string {
@@ -29,6 +44,18 @@ func (k EventKind) String() string {
 		return "complete"
 	case EventFail:
 		return "fail"
+	case EventReject:
+		return "reject"
+	case EventExpire:
+		return "expire"
+	case EventCancel:
+		return "cancel"
+	case EventRetry:
+		return "retry"
+	case EventPanic:
+		return "panic"
+	case EventDrain:
+		return "drain"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -36,13 +63,14 @@ func (k EventKind) String() string {
 // Event is one entry of the server's execution trace: the observable
 // counterpart of the paper's Figure 6 workflow (requests admitted by the
 // request processor, batched tasks executed by workers, requests returned
-// the moment their last cell finishes).
+// the moment their last cell finishes), extended with the lifecycle and
+// fault events of the robustness layer.
 type Event struct {
 	At   time.Time
 	Kind EventKind
-	// Req is set for admit/complete/fail events.
+	// Req is set for admit/complete/fail/expire/cancel events.
 	Req core.RequestID
-	// Worker, TypeKey and Batch are set for task events.
+	// Worker, TypeKey and Batch are set for task/retry/panic events.
 	Worker  core.WorkerID
 	TypeKey string
 	Batch   int
@@ -51,8 +79,10 @@ type Event struct {
 // String renders the event compactly.
 func (e Event) String() string {
 	switch e.Kind {
-	case EventTaskExec:
+	case EventTaskExec, EventRetry, EventPanic:
 		return fmt.Sprintf("%s worker=%d type=%s batch=%d", e.Kind, e.Worker, shortType(e.TypeKey), e.Batch)
+	case EventReject, EventDrain:
+		return e.Kind.String()
 	default:
 		return fmt.Sprintf("%s req=%d", e.Kind, e.Req)
 	}
