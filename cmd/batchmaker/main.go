@@ -240,6 +240,12 @@ func main() {
 	fmt.Printf("server stats: %d tasks, %d cells, batch histogram %v\n",
 		st.TasksRun, st.CellsRun, st.BatchSizes)
 	fmt.Printf("lifecycle: %s\n", st.Outcomes)
+	for w, ws := range st.Workers {
+		fmt.Printf("worker %d: %d tasks, queue depth %d, batch histogram %v\n",
+			w, ws.TasksRun, ws.QueueDepth, ws.BatchSizes)
+	}
+	fmt.Printf("dispatch: %d rounds, p50 %v, p99 %v\n",
+		st.DispatchRounds, st.DispatchP50, st.DispatchP99)
 }
 
 // runDemoClient fires concurrent translation requests at the server.

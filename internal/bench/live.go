@@ -1,0 +1,386 @@
+// Live-server throughput benchmark: the pipelined engine of internal/server
+// against a minimal reproduction of its predecessor, a global-lock engine
+// where every worker contends on one mutex for scheduling, gather, scatter
+// and dependency tracking. Both engines run the same core.Scheduler and the
+// same cells on the same workload, so the measured difference is the serving
+// architecture alone. Results are recorded in BENCH_server.json; the Go
+// benchmark wrappers live in live_bench_test.go.
+//
+// This comparison is deliberately not part of the experiments registry: the
+// registry regenerates the paper's simulated tables (§7), while this
+// measures the live Go engine itself.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/core"
+	"batchmaker/internal/metrics"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/server"
+	"batchmaker/internal/tensor"
+)
+
+// LiveOptions sizes the live-server workload.
+type LiveOptions struct {
+	// Workers is the worker count for both engines (default 4).
+	Workers int
+	// Clients is the number of closed-loop submitter goroutines (default 24).
+	Clients int
+	// RequestsPerClient is each client's submission count (default 25).
+	RequestsPerClient int
+	// Hidden is the LSTM hidden width (default 64; larger widths shift time
+	// from coordination to math and shrink the architectural gap).
+	Hidden int
+	// MaxTasksToSubmit is the per-round task bound for both engines
+	// (default 2; lower values delay task formation, letting concurrent
+	// requests coalesce into bigger batches).
+	MaxTasksToSubmit int
+	// Seed offsets the workload RNG (default 1).
+	Seed uint64
+}
+
+func (o LiveOptions) withDefaults() LiveOptions {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Clients == 0 {
+		o.Clients = 24
+	}
+	if o.RequestsPerClient == 0 {
+		o.RequestsPerClient = 25
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 64
+	}
+	if o.MaxTasksToSubmit == 0 {
+		o.MaxTasksToSubmit = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// LiveResult is one engine's measurement over the workload.
+type LiveResult struct {
+	Engine     string        `json:"engine"`
+	Requests   int           `json:"requests"`
+	Cells      int           `json:"cells"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	ReqPerSec  float64       `json:"requests_per_sec"`
+	CellPerSec float64       `json:"cells_per_sec"`
+	P50        time.Duration `json:"latency_p50_ns"`
+	P99        time.Duration `json:"latency_p99_ns"`
+}
+
+// liveWorkload is a fixed mix of LSTM chains, shared by both engines so
+// request sizes, order and count are identical.
+type liveWorkload struct {
+	cell   *rnn.LSTMCell
+	inputs []*tensor.Tensor // one chain input per (client, request)
+	cells  int              // total cell count across all graphs
+}
+
+func newLiveWorkload(o LiveOptions) *liveWorkload {
+	rng := tensor.NewRNG(o.Seed)
+	w := &liveWorkload{
+		cell: rnn.NewLSTMCell("lstm", 32, o.Hidden, tensor.NewRNG(o.Seed+7)),
+	}
+	n := o.Clients * o.RequestsPerClient
+	for i := 0; i < n; i++ {
+		steps := 4 + rng.Intn(13) // chains of 4..16 cells
+		w.inputs = append(w.inputs, tensor.RandUniform(rng, 1, steps, 32))
+		w.cells += steps
+	}
+	return w
+}
+
+func (w *liveWorkload) graph(i int) *cellgraph.Graph {
+	g, err := cellgraph.UnfoldChain(w.cell, w.inputs[i])
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// submitFunc abstracts the two engines for the driver.
+type submitFunc func(*cellgraph.Graph) error
+
+// drive runs the closed-loop clients against one engine and measures
+// throughput and per-request latency. Graphs are unfolded up front so the
+// timed region contains only serving work.
+func drive(o LiveOptions, w *liveWorkload, name string, submit submitFunc) (LiveResult, error) {
+	graphs := make([]*cellgraph.Graph, len(w.inputs))
+	for i := range graphs {
+		graphs[i] = w.graph(i)
+	}
+	rec := metrics.NewWindow(o.Clients * o.RequestsPerClient)
+	var recMu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, o.Clients)
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < o.RequestsPerClient; i++ {
+				g := graphs[c*o.RequestsPerClient+i]
+				t0 := time.Now()
+				if err := submit(g); err != nil {
+					errs[c] = err
+					return
+				}
+				recMu.Lock()
+				rec.Add(time.Since(t0))
+				recMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return LiveResult{}, err
+		}
+	}
+	n := o.Clients * o.RequestsPerClient
+	return LiveResult{
+		Engine:     name,
+		Requests:   n,
+		Cells:      w.cells,
+		Elapsed:    elapsed,
+		ReqPerSec:  float64(n) / elapsed.Seconds(),
+		CellPerSec: float64(w.cells) / elapsed.Seconds(),
+		P50:        rec.P50(),
+		P99:        rec.P99(),
+	}, nil
+}
+
+// RunLivePipelined measures the staged-pipeline engine of internal/server.
+func RunLivePipelined(o LiveOptions) (LiveResult, error) {
+	o = o.withDefaults()
+	w := newLiveWorkload(o)
+	srv, err := server.New(server.Config{
+		Workers:          o.Workers,
+		MaxTasksToSubmit: o.MaxTasksToSubmit,
+		Cells:            []server.CellSpec{{Cell: w.cell, MaxBatch: 16}},
+	})
+	if err != nil {
+		return LiveResult{}, err
+	}
+	defer srv.Stop()
+	ctx := context.Background()
+	return drive(o, w, "pipelined", func(g *cellgraph.Graph) error {
+		_, err := srv.Submit(ctx, g)
+		return err
+	})
+}
+
+// RunLiveGlobalLock measures the global-lock baseline on the same workload.
+func RunLiveGlobalLock(o LiveOptions) (LiveResult, error) {
+	o = o.withDefaults()
+	w := newLiveWorkload(o)
+	e, err := newLockEngine(w.cell, o.Workers, o.MaxTasksToSubmit)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	defer e.stop()
+	return drive(o, w, "global-lock", e.submit)
+}
+
+// lockEngine is the benchmark baseline: the pre-pipeline serving
+// architecture, reduced to its happy path. One mutex guards the scheduler,
+// all request state and dependency tracking; every worker contends on it
+// for scheduling, gather and scatter, releasing it only for the Step call.
+type lockEngine struct {
+	cell  *rnn.LSTMCell
+	sched *core.Scheduler
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stopped bool
+	nextID  core.RequestID
+	reqs    map[core.RequestID]*lockRequest
+	batches map[int]int // batch size -> count, for workload comparison
+	wg      sync.WaitGroup
+}
+
+type lockRequest struct {
+	id      core.RequestID
+	tracker *core.Tracker
+	state   *cellgraph.State
+	done    chan struct{}
+	err     error
+}
+
+func newLockEngine(cell *rnn.LSTMCell, workers, mts int) (*lockEngine, error) {
+	sched, err := core.NewScheduler(core.Config{
+		Types:            []core.TypeConfig{{Key: cell.TypeKey(), MaxBatch: 16}},
+		MaxTasksToSubmit: mts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &lockEngine{
+		cell:    cell,
+		sched:   sched,
+		reqs:    make(map[core.RequestID]*lockRequest),
+		batches: make(map[int]int),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker(core.WorkerID(i))
+	}
+	return e, nil
+}
+
+func (e *lockEngine) stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *lockEngine) submit(g *cellgraph.Graph) error {
+	state, err := cellgraph.NewState(g)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.nextID++
+	id := e.nextID
+	tracker, err := core.NewTracker(id, g)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	r := &lockRequest{id: id, tracker: tracker, state: state, done: make(chan struct{})}
+	e.reqs[id] = r
+	for _, spec := range tracker.InitialSubgraphs() {
+		if _, err := e.sched.AddSubgraph(spec); err != nil {
+			delete(e.reqs, id)
+			e.mu.Unlock()
+			return err
+		}
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	<-r.done
+	return r.err
+}
+
+func (e *lockEngine) worker(id core.WorkerID) {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		var tasks []*core.Task
+		for {
+			if e.stopped {
+				e.mu.Unlock()
+				return
+			}
+			tasks = e.sched.Schedule(id)
+			if len(tasks) > 0 {
+				break
+			}
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+		for _, task := range tasks {
+			e.execTask(task)
+		}
+	}
+}
+
+func (e *lockEngine) execTask(task *core.Task) {
+	type ref struct {
+		r    *lockRequest
+		node cellgraph.NodeID
+	}
+	e.mu.Lock()
+	refs := make([]ref, 0, len(task.Nodes))
+	for _, nr := range task.Nodes {
+		if r, ok := e.reqs[nr.Req]; ok {
+			refs = append(refs, ref{r: r, node: nr.Node})
+		}
+	}
+	e.batches[len(refs)]++
+	inputs := make(map[string]*tensor.Tensor, len(e.cell.InputNames()))
+	for _, name := range e.cell.InputNames() {
+		rows := make([]*tensor.Tensor, len(refs))
+		for i, rf := range refs {
+			rows[i] = rf.r.state.InputRow(rf.node, name)
+			rf.r.state.MarkIssued(rf.node)
+		}
+		inputs[name] = tensor.ConcatRows(rows...)
+	}
+	e.mu.Unlock()
+
+	outs, stepErr := e.cell.Step(inputs)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, rf := range refs {
+		if _, live := e.reqs[rf.r.id]; !live {
+			// A sibling row's failure already resolved this request.
+			continue
+		}
+		if stepErr != nil {
+			rf.r.err = stepErr
+			e.resolve(rf.r)
+			continue
+		}
+		rowOut := make(map[string]*tensor.Tensor, len(outs))
+		for name, t := range outs {
+			rowOut[name] = tensor.SliceRows(t, i, i+1)
+		}
+		rf.r.state.Complete(rf.node, rowOut)
+		released, err := rf.r.tracker.NodeDone(rf.node)
+		if err != nil {
+			rf.r.err = err
+			e.resolve(rf.r)
+			continue
+		}
+		for _, spec := range released {
+			if _, err := e.sched.AddSubgraph(spec); err != nil {
+				rf.r.err = err
+				e.resolve(rf.r)
+				break
+			}
+		}
+		if rf.r.tracker.Finished() {
+			e.resolve(rf.r)
+		}
+	}
+	if err := e.sched.TaskCompleted(task.ID); err != nil {
+		panic(err)
+	}
+	e.cond.Broadcast()
+}
+
+// resolve closes out one request. Caller holds e.mu.
+func (e *lockEngine) resolve(r *lockRequest) {
+	if r.err != nil {
+		e.sched.CancelRequest(r.id)
+	}
+	delete(e.reqs, r.id)
+	close(r.done)
+}
+
+// FormatLiveComparison renders the two results plus the speedup line
+// recorded in BENCH_server.json.
+func FormatLiveComparison(pipelined, lock LiveResult) string {
+	return fmt.Sprintf(
+		"%s: %.0f req/s %.0f cells/s p50=%v p99=%v\n%s: %.0f req/s %.0f cells/s p50=%v p99=%v\nspeedup: %.2fx cells/s",
+		pipelined.Engine, pipelined.ReqPerSec, pipelined.CellPerSec, pipelined.P50, pipelined.P99,
+		lock.Engine, lock.ReqPerSec, lock.CellPerSec, lock.P50, lock.P99,
+		pipelined.CellPerSec/lock.CellPerSec,
+	)
+}

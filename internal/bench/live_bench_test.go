@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// quickLive is the CI-sized workload: small enough to finish in well under a
+// second per engine, large enough that batching and contention both happen.
+func quickLive() LiveOptions {
+	return LiveOptions{Workers: 4, Clients: 24, RequestsPerClient: 10}
+}
+
+// TestLiveEnginesAgree is the correctness gate for the benchmark pair: both
+// engines must run the full workload without error. (Output equivalence is
+// covered by the server package's transparency tests; here the baseline is
+// exercised so the comparison in BENCH_server.json measures two working
+// engines.)
+func TestLiveEnginesAgree(t *testing.T) {
+	p, err := RunLivePipelined(quickLive())
+	if err != nil {
+		t.Fatalf("pipelined: %v", err)
+	}
+	l, err := RunLiveGlobalLock(quickLive())
+	if err != nil {
+		t.Fatalf("global-lock: %v", err)
+	}
+	if p.Requests != l.Requests || p.Cells != l.Cells {
+		t.Fatalf("workloads differ: pipelined %d req/%d cells, lock %d req/%d cells",
+			p.Requests, p.Cells, l.Requests, l.Cells)
+	}
+	t.Logf("\n%s", FormatLiveComparison(p, l))
+}
+
+// BenchmarkLiveServerPipelined measures the staged-pipeline engine. Compare
+// with BenchmarkLiveServerGlobalLock; cells/s for both are recorded in
+// BENCH_server.json (see README for the workflow).
+func BenchmarkLiveServerPipelined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunLivePipelined(quickLive())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CellPerSec, "cells/s")
+		b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+	}
+}
+
+// BenchmarkLiveServerGlobalLock measures the pre-pipeline baseline.
+func BenchmarkLiveServerGlobalLock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunLiveGlobalLock(quickLive())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CellPerSec, "cells/s")
+		b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+	}
+}
+
+// TestRecordLiveBench regenerates BENCH_server.json at the repo root. It
+// runs the two engines as interleaved pairs (alternating which goes first)
+// and records the median per-pair throughput ratio: pairing makes each
+// ratio immune to slow machine-state drift that independent
+// median-per-engine blocks would absorb into the comparison. It only runs
+// when BENCH_RECORD=1 (see README "Benchmarks").
+func TestRecordLiveBench(t *testing.T) {
+	if os.Getenv("BENCH_RECORD") != "1" {
+		t.Skip("set BENCH_RECORD=1 to rewrite BENCH_server.json")
+	}
+	o := LiveOptions{Workers: 4, Clients: 24, RequestsPerClient: 40}.withDefaults()
+	const pairs = 7
+	type pair struct {
+		p, l  LiveResult
+		ratio float64
+	}
+	run := func(f func(LiveOptions) (LiveResult, error)) LiveResult {
+		r, err := f(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	var ps []pair
+	for i := 0; i < pairs; i++ {
+		var pr pair
+		if i%2 == 0 {
+			pr.p = run(RunLivePipelined)
+			pr.l = run(RunLiveGlobalLock)
+		} else {
+			pr.l = run(RunLiveGlobalLock)
+			pr.p = run(RunLivePipelined)
+		}
+		pr.ratio = pr.p.ReqPerSec / pr.l.ReqPerSec
+		t.Logf("pair %d: pipelined %.0f req/s, lock %.0f req/s, ratio %.3f",
+			i, pr.p.ReqPerSec, pr.l.ReqPerSec, pr.ratio)
+		ps = append(ps, pr)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ratio < ps[j].ratio })
+	med := ps[pairs/2]
+	p, l := med.p, med.l
+	out := map[string]any{
+		"benchmark":           "live-server-throughput",
+		"recorded":            time.Now().UTC().Format("2006-01-02"),
+		"go":                  runtime.Version(),
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
+		"pairs":               pairs,
+		"options":             o,
+		"pipelined":           p,
+		"global_lock":         l,
+		"speedup_req_per_sec": med.ratio,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_server.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatLiveComparison(p, l))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"batchmaker/internal/cellgraph"
@@ -133,5 +134,49 @@ func BenchmarkFakeChainConstruction(b *testing.B) {
 	cell := newFakeCell("A")
 	for i := 0; i < b.N; i++ {
 		benchSink = fakeChain(cell, 24)
+	}
+}
+
+// BenchmarkSchedulerDrain_LongChains drains a handful of very long chains.
+// Every task releases exactly one successor per chain, so this measures the
+// per-release cost of updateNodesDependency — the path that used to re-sort
+// the whole ready list with sort.Slice on every release and now does an
+// ordered merge.
+func BenchmarkSchedulerDrain_LongChains(b *testing.B) {
+	benchScheduler(b, 8, 1024, 64)
+}
+
+// readyReleaseInputs builds a sorted ready remainder of length n and one
+// freshly released node that belongs at its end — the steady state of a
+// wide subgraph draining through Schedule.
+func readyReleaseInputs(n int) (rest []cellgraph.NodeID, fresh []cellgraph.NodeID) {
+	rest = make([]cellgraph.NodeID, n)
+	for i := range rest {
+		rest[i] = cellgraph.NodeID(i * 2)
+	}
+	return rest, []cellgraph.NodeID{cellgraph.NodeID(2*n - 1)}
+}
+
+var readySink []cellgraph.NodeID
+
+// BenchmarkReadyRelease_Merge is the new release path: ordered merge of the
+// sorted remainder with the (tiny) fresh batch.
+func BenchmarkReadyRelease_Merge(b *testing.B) {
+	rest, fresh := readyReleaseInputs(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		readySink = mergeReady(rest, fresh)
+	}
+}
+
+// BenchmarkReadyRelease_SortSlice is the old release path kept as a
+// baseline: copy the remainder, append the fresh nodes, re-sort everything.
+func BenchmarkReadyRelease_SortSlice(b *testing.B) {
+	rest, fresh := readyReleaseInputs(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ready := append(append([]cellgraph.NodeID(nil), rest...), fresh...)
+		sort.Slice(ready, func(x, y int) bool { return ready[x] < ready[y] })
+		readySink = ready
 	}
 }

@@ -412,26 +412,50 @@ func (s *Scheduler) updateNodesDependency(ct *cellType, task *Task) {
 		take := sg.pendingTake
 		sg.pendingTake = 0
 		taken := sg.ready[:take]
-		sg.ready = append([]cellgraph.NodeID(nil), sg.ready[take:]...)
+		rest := sg.ready[take:]
 		ct.readyNodes -= take
 		s.totalReady -= take
 		sg.unissued -= take
-		newReady := 0
+		var fresh []cellgraph.NodeID
 		for _, n := range taken {
 			for _, dep := range sg.dependents[n] {
 				sg.pendingDeps[dep]--
 				if sg.pendingDeps[dep] == 0 {
-					sg.ready = append(sg.ready, dep)
-					newReady++
+					fresh = append(fresh, dep)
 				}
 			}
 		}
-		if newReady > 0 {
-			sort.Slice(sg.ready, func(i, j int) bool { return sg.ready[i] < sg.ready[j] })
-			ct.readyNodes += newReady
-			s.totalReady += newReady
+		sg.ready = mergeReady(rest, fresh)
+		ct.readyNodes += len(fresh)
+		s.totalReady += len(fresh)
+	}
+}
+
+// mergeReady combines the un-taken remainder of a ready list (already
+// sorted — it is a suffix of a sorted list) with freshly released nodes
+// into a new sorted slice. The fresh batch is tiny (usually one node per
+// released dependency edge), so it is insertion-sorted and then merged in
+// one pass instead of re-sorting the whole ready list with sort.Slice,
+// which dominated the scheduling loop on long chains.
+func mergeReady(rest, fresh []cellgraph.NodeID) []cellgraph.NodeID {
+	for i := 1; i < len(fresh); i++ {
+		for j := i; j > 0 && fresh[j] < fresh[j-1]; j-- {
+			fresh[j], fresh[j-1] = fresh[j-1], fresh[j]
 		}
 	}
+	out := make([]cellgraph.NodeID, 0, len(rest)+len(fresh))
+	i, j := 0, 0
+	for i < len(rest) && j < len(fresh) {
+		if rest[i] <= fresh[j] {
+			out = append(out, rest[i])
+			i++
+		} else {
+			out = append(out, fresh[j])
+			j++
+		}
+	}
+	out = append(out, rest[i:]...)
+	return append(out, fresh[j:]...)
 }
 
 // TaskCompleted must be called by the engine when a worker finishes a task.

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Window is a bounded ring of duration samples for always-on observability:
+// unlike Recorder it never grows past its capacity, so a long-running server
+// can feed it on every scheduler dispatch without leaking. Percentiles are
+// answered over the retained window (the most recent samples); Count reports
+// the total ever observed. The zero value is unusable — use NewWindow.
+type Window struct {
+	buf   []time.Duration
+	next  int
+	n     int // retained samples, <= len(buf)
+	total int // samples ever observed
+}
+
+// NewWindow returns a ring retaining the most recent capacity samples.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("metrics: NewWindow capacity %d out of range", capacity))
+	}
+	return &Window{buf: make([]time.Duration, capacity)}
+}
+
+// Add records one sample, evicting the oldest when the window is full.
+func (w *Window) Add(d time.Duration) {
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.total++
+}
+
+// Count returns the number of samples ever observed (not just retained).
+func (w *Window) Count() int { return w.total }
+
+// Percentile returns the p-th percentile (0 < p <= 100, nearest-rank) over
+// the retained window, or 0 with no samples.
+func (w *Window) Percentile(p float64) time.Duration {
+	if w.n == 0 {
+		return 0
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
+	}
+	sorted := make([]time.Duration, w.n)
+	copy(sorted, w.buf[:w.n])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(w.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > w.n {
+		rank = w.n
+	}
+	return sorted[rank-1]
+}
+
+// P50 returns the median of the retained window.
+func (w *Window) P50() time.Duration { return w.Percentile(50) }
+
+// P99 returns the 99th percentile of the retained window.
+func (w *Window) P99() time.Duration { return w.Percentile(99) }

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowEmptyAndBasics(t *testing.T) {
+	w := NewWindow(8)
+	if w.P50() != 0 || w.P99() != 0 || w.Count() != 0 {
+		t.Fatal("empty window must answer zeros")
+	}
+	for i := 1; i <= 4; i++ {
+		w.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.P50(); got != 2*time.Millisecond {
+		t.Fatalf("P50 = %v, want 2ms", got)
+	}
+	if got := w.P99(); got != 4*time.Millisecond {
+		t.Fatalf("P99 = %v, want 4ms", got)
+	}
+	if w.Count() != 4 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(4)
+	// 100ms..103ms fill the ring, then 1ms..4ms evict them all.
+	for i := 0; i < 4; i++ {
+		w.Add(time.Duration(100+i) * time.Millisecond)
+	}
+	for i := 1; i <= 4; i++ {
+		w.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.Percentile(100); got != 4*time.Millisecond {
+		t.Fatalf("max over window = %v, want 4ms (old samples not evicted)", got)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d, want total observed 8", w.Count())
+	}
+}
+
+func TestWindowMatchesRecorderOnSmallInput(t *testing.T) {
+	// With fewer samples than capacity, Window and Recorder agree exactly.
+	w := NewWindow(64)
+	var r Recorder
+	for _, d := range []time.Duration{7, 3, 9, 1, 5, 2, 8} {
+		w.Add(d)
+		r.Add(d)
+	}
+	for _, p := range []float64{10, 50, 90, 99, 100} {
+		if w.Percentile(p) != r.Percentile(p) {
+			t.Fatalf("P%v: window %v != recorder %v", p, w.Percentile(p), r.Percentile(p))
+		}
+	}
+}

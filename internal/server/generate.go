@@ -90,10 +90,8 @@ func (spec *GenerateSpec) validate(s *Server) error {
 // time until the stop token or MaxSteps, returning the emitted StopOutput
 // values (including the stop token when it terminates generation).
 func (s *Server) Generate(ctx context.Context, spec GenerateSpec) ([]float32, error) {
-	s.mu.Lock()
-	err := spec.validate(s)
-	s.mu.Unlock()
-	if err != nil {
+	// validate only reads the immutable cell registry; no lock needed.
+	if err := spec.validate(s); err != nil {
 		return nil, err
 	}
 

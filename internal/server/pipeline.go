@@ -1,0 +1,398 @@
+package server
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/core"
+)
+
+// Stage hand-off records. The request processor receives commands from
+// callers on Server.cmds and completion records from workers on
+// Server.completions; it talks to the scheduler loop through Server.slCmds.
+
+// admitCmd asks the request processor to admit one constructed request.
+type admitCmd struct {
+	req   *request
+	specs []core.SubgraphSpec
+	reply chan error
+}
+
+// terminateCmd asks for early resolution (cancel or expire-by-context).
+type terminateCmd struct {
+	req   *request
+	cause error
+	reply chan bool
+}
+
+// drainCmd switches the server into draining mode.
+type drainCmd struct{}
+
+// stopCmd begins fail-fast shutdown.
+type stopCmd struct{}
+
+// execRef names one gathered row of a batched task: which request, which
+// node. Workers record the refs they actually executed so the request
+// processor can advance exactly those dependencies.
+type execRef struct {
+	req  *request
+	node cellgraph.NodeID
+}
+
+// completion is one worker→request-processor record: either a finished task
+// (scattered outputs on success, err set on failure) or a worker-exit
+// sentinel.
+type completion struct {
+	worker   int
+	task     *core.Task
+	executed []execRef
+	err      error
+	exit     bool
+}
+
+// deadlineEntry is one pending expiry. Entries are lazily deleted: a
+// resolved request's entry is skipped when it surfaces at the heap top.
+type deadlineEntry struct {
+	at time.Time
+	r  *request
+}
+
+type deadlineHeap []deadlineEntry
+
+func (h deadlineHeap) Len() int            { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)         { *h = append(*h, x.(deadlineEntry)) }
+func (h *deadlineHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// rpState is the request processor's private state. Nothing here is shared:
+// other stages reach it only through channels.
+type rpState struct {
+	s        *Server
+	reqs     map[core.RequestID]*request
+	deadline deadlineHeap
+	timer    *time.Timer
+	// timerArmed tracks whether timer.C holds (or will hold) an undelivered
+	// tick, so re-arming can drain it safely.
+	timerArmed  bool
+	queuedCells int
+	stopped     bool
+	draining    bool
+	drainClosed bool
+	workersLeft int
+}
+
+// requestProcessor is the manager stage of §4.2: it owns admission,
+// dependency tracking, deadline expiry, and request resolution. It is the
+// only goroutine that moves requests between lifecycle states, which is
+// what makes "exactly one terminal state" a structural property rather
+// than a locking discipline.
+func (s *Server) requestProcessor() {
+	defer s.wg.Done()
+	rp := &rpState{
+		s:           s,
+		reqs:        make(map[core.RequestID]*request),
+		timer:       time.NewTimer(time.Hour),
+		workersLeft: s.cfg.Workers,
+	}
+	if !rp.timer.Stop() {
+		<-rp.timer.C
+	}
+	for {
+		select {
+		case c := <-s.cmds:
+			switch cmd := c.(type) {
+			case admitCmd:
+				cmd.reply <- rp.admit(cmd)
+			case terminateCmd:
+				cmd.reply <- rp.terminate(cmd.req, cmd.cause)
+			case drainCmd:
+				rp.drain()
+			case stopCmd:
+				rp.stop()
+			}
+		case rec := <-s.completions:
+			if rec.exit {
+				rp.workersLeft--
+			} else {
+				rp.complete(rec)
+			}
+		case <-rp.timer.C:
+			rp.timerArmed = false
+			rp.expireDue()
+			rp.rearm()
+		}
+		if rp.stopped && rp.workersLeft == 0 {
+			// All workers have exited (their channels were closed by the
+			// scheduler loop after its bookkeeping drained), so no more
+			// completions can arrive; remaining public API calls fail fast
+			// via stopdCh.
+			return
+		}
+	}
+}
+
+// admit performs the admission decision and registers the request. The
+// request becomes worker-visible before its subgraphs reach the scheduler
+// loop, because dispatch can race ahead of the admission reply.
+func (rp *rpState) admit(cmd admitCmd) error {
+	s, r := rp.s, cmd.req
+	if rp.stopped {
+		return ErrStopped
+	}
+	if rp.draining {
+		rp.reject()
+		return ErrDraining
+	}
+	if n := s.cfg.MaxQueuedRequests; n > 0 && len(rp.reqs) >= n {
+		rp.reject()
+		return fmt.Errorf("%w: %d requests queued (max %d)", ErrOverloaded, len(rp.reqs), n)
+	}
+	if n := s.cfg.MaxQueuedCells; n > 0 && rp.queuedCells+r.cells > n {
+		rp.reject()
+		return fmt.Errorf("%w: %d cells queued, request adds %d (max %d)", ErrOverloaded, rp.queuedCells, r.cells, n)
+	}
+	rp.reqs[r.id] = r
+	s.liveMu.Lock()
+	s.live[r.id] = r
+	s.liveMu.Unlock()
+	if err := rp.addSubgraphs(r.id, cmd.specs); err != nil {
+		// The scheduler loop already rolled its side back (CancelRequest);
+		// unregister so nothing stays admitted without an owning handle.
+		delete(rp.reqs, r.id)
+		s.liveMu.Lock()
+		delete(s.live, r.id)
+		s.liveMu.Unlock()
+		return err
+	}
+	if !r.deadline.IsZero() {
+		heap.Push(&rp.deadline, deadlineEntry{at: r.deadline, r: r})
+		rp.rearm()
+	}
+	rp.queuedCells += r.cells
+	s.statsMu.Lock()
+	s.queuedCells = rp.queuedCells
+	s.liveRequests = len(rp.reqs)
+	s.outcomes.Admitted++
+	s.trace.add(Event{At: time.Now(), Kind: EventAdmit, Req: r.id})
+	s.statsMu.Unlock()
+	return nil
+}
+
+// addSubgraphs round-trips one batch of subgraph specs to the scheduler
+// loop; on error the scheduler loop has already cancelled the request's
+// scheduler-side registration.
+func (rp *rpState) addSubgraphs(id core.RequestID, specs []core.SubgraphSpec) error {
+	reply := make(chan error, 1)
+	rp.s.slCmds <- slCmd{kind: slAdd, req: id, specs: specs, reply: reply}
+	return <-reply
+}
+
+// reject records one shed submission.
+func (rp *rpState) reject() { rp.s.reject() }
+
+func (s *Server) reject() {
+	s.statsMu.Lock()
+	s.outcomes.Rejected++
+	s.trace.add(Event{At: time.Now(), Kind: EventReject})
+	s.statsMu.Unlock()
+}
+
+// terminate resolves a live request early with ErrCancelled or ErrExpired.
+func (rp *rpState) terminate(r *request, cause error) bool {
+	if _, live := rp.reqs[r.id]; !live {
+		return false
+	}
+	s := rp.s
+	s.slCmds <- slCmd{kind: slCancel, req: r.id}
+	kind := EventCancel
+	s.statsMu.Lock()
+	if errors.Is(cause, ErrExpired) {
+		kind = EventExpire
+		s.outcomes.Expired++
+	} else {
+		s.outcomes.Cancelled++
+	}
+	s.trace.add(Event{At: time.Now(), Kind: kind, Req: r.id})
+	s.statsMu.Unlock()
+	rp.resolve(r, cause)
+	return true
+}
+
+// complete consumes one worker completion record: fail or advance each
+// executed row's request, release successor subgraphs, resolve finished
+// requests, then let the scheduler loop retire the task (which unpins its
+// subgraphs and triggers the next dispatch).
+func (rp *rpState) complete(rec completion) {
+	s := rp.s
+	for _, ref := range rec.executed {
+		r := ref.req
+		if _, live := rp.reqs[r.id]; !live {
+			// Resolved earlier (cancelled, expired, stopped, or a sibling
+			// row's failure); nothing to advance.
+			continue
+		}
+		if rec.err != nil {
+			cell := s.cells[rec.task.TypeKey]
+			rp.fail(r, fmt.Errorf("server: executing %s: %w", cell.Name(), rec.err))
+			continue
+		}
+		released, err := r.tracker.NodeDone(ref.node)
+		if err != nil {
+			rp.fail(r, err)
+			continue
+		}
+		rp.queuedCells--
+		s.statsMu.Lock()
+		s.queuedCells = rp.queuedCells
+		s.statsMu.Unlock()
+		if len(released) > 0 {
+			if err := rp.addSubgraphs(r.id, released); err != nil {
+				rp.fail(r, err)
+				continue
+			}
+		}
+		if r.tracker.Finished() {
+			// Return immediately: the request does not wait for others in
+			// the batch.
+			r.stateMu.Lock()
+			r.results = r.state.Results()
+			r.stateMu.Unlock()
+			s.statsMu.Lock()
+			s.outcomes.Completed++
+			s.trace.add(Event{At: time.Now(), Kind: EventComplete, Req: r.id})
+			s.statsMu.Unlock()
+			rp.resolve(r, nil)
+		}
+	}
+	// Retire the task after any CancelRequest issued above, preserving the
+	// cancel-before-unpin order the scheduler's bookkeeping expects.
+	s.slCmds <- slCmd{kind: slTaskDone, task: rec.task.ID, worker: rec.worker}
+}
+
+// fail finalizes a request with an execution error, purging its queued work
+// from the scheduler.
+func (rp *rpState) fail(r *request, err error) {
+	if _, live := rp.reqs[r.id]; !live {
+		return
+	}
+	s := rp.s
+	s.slCmds <- slCmd{kind: slCancel, req: r.id}
+	s.statsMu.Lock()
+	s.outcomes.Failed++
+	s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
+	s.statsMu.Unlock()
+	rp.resolve(r, err)
+}
+
+// expireDue expires every request whose deadline has passed.
+func (rp *rpState) expireDue() {
+	s := rp.s
+	now := time.Now()
+	for len(rp.deadline) > 0 && !rp.deadline[0].at.After(now) {
+		e := heap.Pop(&rp.deadline).(deadlineEntry)
+		r := e.r
+		if _, live := rp.reqs[r.id]; !live {
+			continue
+		}
+		s.slCmds <- slCmd{kind: slCancel, req: r.id}
+		s.statsMu.Lock()
+		s.outcomes.Expired++
+		s.trace.add(Event{At: time.Now(), Kind: EventExpire, Req: r.id})
+		s.statsMu.Unlock()
+		rp.resolve(r, fmt.Errorf("%w: deadline %v passed", ErrExpired, r.deadline.Format(time.RFC3339Nano)))
+	}
+}
+
+// rearm points the deadline timer at the earliest live deadline, discarding
+// entries of already-resolved requests on the way.
+func (rp *rpState) rearm() {
+	for len(rp.deadline) > 0 {
+		if _, live := rp.reqs[rp.deadline[0].r.id]; live {
+			break
+		}
+		heap.Pop(&rp.deadline)
+	}
+	if rp.timerArmed && !rp.timer.Stop() {
+		<-rp.timer.C
+	}
+	rp.timerArmed = false
+	if len(rp.deadline) > 0 {
+		rp.timer.Reset(time.Until(rp.deadline[0].at))
+		rp.timerArmed = true
+	}
+}
+
+// resolve is the single exit point of a live request: it records the
+// outcome, releases waiters, and updates backlog accounting. The caller has
+// already classified the outcome (counter + trace event).
+func (rp *rpState) resolve(r *request, err error) {
+	s := rp.s
+	r.err = err
+	r.resolved.Store(true)
+	close(r.done)
+	delete(rp.reqs, r.id)
+	s.liveMu.Lock()
+	delete(s.live, r.id)
+	s.liveMu.Unlock()
+	rp.queuedCells -= r.tracker.Remaining()
+	s.statsMu.Lock()
+	s.queuedCells = rp.queuedCells
+	s.liveRequests = len(rp.reqs)
+	s.statsMu.Unlock()
+	rp.maybeDrained()
+}
+
+// drain switches to draining mode: admissions shed, live work runs out.
+func (rp *rpState) drain() {
+	if rp.stopped || rp.draining {
+		rp.maybeDrained()
+		return
+	}
+	rp.draining = true
+	s := rp.s
+	s.statsMu.Lock()
+	s.trace.add(Event{At: time.Now(), Kind: EventDrain})
+	s.statsMu.Unlock()
+	rp.maybeDrained()
+}
+
+// maybeDrained closes Server.drained once a drain (or stop) has no live
+// requests left.
+func (rp *rpState) maybeDrained() {
+	if rp.drainClosed || len(rp.reqs) > 0 || (!rp.draining && !rp.stopped) {
+		return
+	}
+	rp.drainClosed = true
+	close(rp.s.drained)
+}
+
+// stop fails every live request with ErrStopped and tells the scheduler
+// loop to wind down. The request processor itself exits only after all
+// workers do, so every in-flight completion is still consumed and forwarded
+// — that is what lets the scheduler's bookkeeping drain clean.
+func (rp *rpState) stop() {
+	if rp.stopped {
+		return
+	}
+	rp.stopped = true
+	close(rp.s.stopdCh)
+	s := rp.s
+	live := make([]*request, 0, len(rp.reqs))
+	for _, r := range rp.reqs {
+		live = append(live, r)
+	}
+	for _, r := range live {
+		s.slCmds <- slCmd{kind: slCancel, req: r.id}
+		s.statsMu.Lock()
+		s.outcomes.Failed++
+		s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
+		s.statsMu.Unlock()
+		rp.resolve(r, ErrStopped)
+	}
+	rp.maybeDrained()
+	s.slCmds <- slCmd{kind: slStop}
+}

@@ -473,15 +473,13 @@ func TestServerPartialAdmissionRollsBack(t *testing.T) {
 	// A tree graph partitions into multiple leaf subgraphs with no external
 	// deps, so InitialSubgraphs yields several specs; fail the second.
 	calls := 0
-	srv.mu.Lock()
-	srv.admitFault = func(core.SubgraphSpec) error {
+	srv.setAdmitFault(func(core.SubgraphSpec) error {
 		calls++
 		if calls == 2 {
 			return fmt.Errorf("injected admission failure")
 		}
 		return nil
-	}
-	srv.mu.Unlock()
+	})
 
 	tree, err := cellgraph.CompleteBinaryTree(4, tVocab)
 	if err != nil {
@@ -497,11 +495,8 @@ func TestServerPartialAdmissionRollsBack(t *testing.T) {
 	if calls < 2 {
 		t.Fatalf("admission fault fired %d times; need a multi-subgraph graph", calls)
 	}
-	srv.mu.Lock()
-	srv.admitFault = nil
-	orphans := srv.sched.LiveSubgraphs()
-	ready := srv.sched.TotalReady()
-	srv.mu.Unlock()
+	srv.setAdmitFault(nil)
+	_, orphans, ready := srv.schedulerGauges()
 	if orphans != 0 || ready != 0 {
 		t.Fatalf("partial admission leaked %d subgraphs (%d ready nodes)", orphans, ready)
 	}
@@ -552,9 +547,9 @@ func TestServerStopMidExecutionLeavesSchedulerClean(t *testing.T) {
 		}
 	}
 	if !srv.SchedulerClean() {
-		srv.mu.Lock()
+		inflight, live, ready := srv.schedulerGauges()
 		t.Fatalf("scheduler dirty after Stop: inflight=%d live=%d ready=%d",
-			srv.sched.InflightTasks(), srv.sched.LiveSubgraphs(), srv.sched.TotalReady())
+			inflight, live, ready)
 	}
 	if st := srv.Stats(); st.LiveRequests != 0 || st.QueuedCells != 0 {
 		t.Fatalf("request accounting dirty after Stop: live=%d queued=%d", st.LiveRequests, st.QueuedCells)

@@ -2,6 +2,24 @@
 // architecture (manager = request processor + scheduler; one worker per
 // device) running with real tensor computation on goroutines.
 //
+// The engine is a staged pipeline with no global lock:
+//
+//	callers ──admit──▶ request processor ──subgraphs──▶ scheduler loop
+//	                        ▲                                │ batched tasks
+//	                        │ completion queue               ▼ (bounded, FIFO)
+//	                        └──────────── workers ◀──────────┘
+//
+// A single scheduler-loop goroutine owns the core.Scheduler and dispatches
+// batched tasks onto bounded per-worker channels (preserving the
+// FIFO-per-worker execution order the subgraph pin logic relies on). Workers
+// gather batched inputs into reused buffers, execute the cell, scatter the
+// outputs into per-request state (in program order, modeling a GPU stream),
+// and push a completion record. The request-processor goroutine consumes
+// completions: it tracks dependencies, releases successor subgraphs back to
+// the scheduler loop, and resolves finished requests — Algorithm 1's
+// manager. Deadlines are swept by a timer owned by the request processor,
+// not by polling workers.
+//
 // Where internal/sim reproduces the paper's performance numbers against a
 // simulated GPU, this package demonstrates the system end to end: requests
 // submitted concurrently are unfolded into cell graphs, their ready cells
@@ -31,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"batchmaker/internal/cellgraph"
@@ -81,6 +100,15 @@ type Config struct {
 	// MaxTasksToSubmit bounds tasks handed to a worker per scheduling
 	// round (default 5).
 	MaxTasksToSubmit int
+	// WorkerQueueDepth bounds each worker's task channel (default
+	// MaxTasksToSubmit, i.e. one scheduling round). The scheduler loop only
+	// schedules for a worker whose channel has guaranteed room for a full
+	// round, so dispatch never blocks — and with the default depth it forms
+	// a worker's next tasks only when its queue is empty, keeping batches
+	// open until the last moment (late batching is what lets concurrent
+	// requests' cells coalesce). Raise it to trade batching opportunity for
+	// lookahead.
+	WorkerQueueDepth int
 	// TraceCapacity, when positive, enables execution tracing with a ring
 	// buffer of that many events (see Trace).
 	TraceCapacity int
@@ -105,47 +133,91 @@ type Config struct {
 	RetryBackoff time.Duration
 }
 
+// request is one admitted request's shared record. Ownership is split by
+// stage: the request processor owns tracker, results, err and the lifecycle
+// transitions; workers touch state (under stateMu) and read the immutable
+// fields; resolved/poisoned are the cross-stage flags.
 type request struct {
-	id      core.RequestID
+	id    core.RequestID
+	cells int // len(graph.Nodes), for backlog accounting
+
+	// tracker is owned by the request processor after admission.
 	tracker *core.Tracker
+
+	// state holds per-node rows; guarded by stateMu because subgraphs of
+	// one request can be pinned to different workers.
+	stateMu sync.Mutex
 	state   *cellgraph.State
+
 	done    chan struct{}
 	results map[string]*tensor.Tensor
 	err     error
-	// deadline, when nonzero, expires the request (checked at every
-	// scheduling round and at task gather time).
+	// deadline, when nonzero, expires the request (enforced by the request
+	// processor's timer and re-checked at task gather time).
 	deadline time.Time
+
+	// resolved is set by the request processor when the request reaches its
+	// terminal state; workers use it to skip rows of dead requests.
+	resolved atomic.Bool
+	// poisoned is set by a worker whose task failed, before the failure
+	// completion is enqueued: successor tasks already queued behind it on
+	// the same worker must not gather rows whose dependencies never
+	// completed.
+	poisoned atomic.Bool
 }
+
+// dead reports whether this request's rows should be skipped at gather time.
+func (r *request) dead() bool { return r.resolved.Load() || r.poisoned.Load() }
 
 // Server is a live cellular-batching inference server.
 type Server struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	sched     *core.Scheduler
-	cells     map[string]rnn.Cell
-	reqs      map[core.RequestID]*request
-	deadlined map[core.RequestID]*request // live requests with deadlines
-	nextID    core.RequestID
-	stopped   bool
-	draining  bool
-	wg        sync.WaitGroup
-
 	cfg          Config
+	cells        map[string]rnn.Cell
 	faults       FaultInjector
 	maxRetries   int
 	retryBackoff time.Duration
-	// admitFault, when non-nil, can fail individual AddSubgraph calls — a
-	// test seam for the partial-admission rollback path.
-	admitFault func(core.SubgraphSpec) error
 
-	// stats
-	tasksRun    int
-	cellsRun    int
-	queuedCells int         // admitted, not-yet-executed cell nodes
-	batchesBy   map[int]int // batch size -> count
-	outcomes    metrics.Outcomes
-	quarantined map[string]int // cell type -> recovered panic count
-	trace       *traceRing
+	// Stage hand-offs.
+	cmds        chan any        // callers -> request processor (unbuffered)
+	completions chan completion // workers -> request processor
+	slCmds      chan slCmd      // request processor -> scheduler loop
+	taskChans   []chan *core.Task
+
+	// stopdCh is closed the moment stop processing begins; public API
+	// paths select on it so they fail fast instead of blocking on a dead
+	// request processor.
+	stopdCh chan struct{}
+	// drained is closed when a drain (or stop) leaves no live requests.
+	drained chan struct{}
+
+	nextID atomic.Int64
+	wg     sync.WaitGroup
+
+	// live is the worker-visible request lookup. The request processor is
+	// the only writer (under liveMu); workers read under RLock.
+	liveMu sync.RWMutex
+	live   map[core.RequestID]*request
+
+	// statsMu is a leaf lock guarding counters, the trace ring, and the
+	// scheduler gauges mirrored by the scheduler loop, so Stats and
+	// SchedulerClean work during operation and after shutdown.
+	statsMu        sync.Mutex
+	tasksRun       int
+	cellsRun       int
+	queuedCells    int // mirrored from the request processor
+	liveRequests   int // mirrored from the request processor
+	batchesBy      map[int]int // batch size -> count
+	outcomes       metrics.Outcomes
+	quarantined    map[string]int // cell type -> recovered panic count
+	trace          *traceRing
+	workerTasks    []int
+	workerBatches  []map[int]int
+	workerDepth    []int // mirrored from the scheduler loop
+	dispatchRounds int
+	dispatchLat    *metrics.Window
+	schedInflight  int // mirrored core.Scheduler gauges
+	schedLive      int
+	schedReady     int
 }
 
 // New builds and starts a server. Call Stop (or Drain) to shut it down.
@@ -189,79 +261,79 @@ func New(cfg Config) (*Server, error) {
 	if backoff <= 0 {
 		backoff = 500 * time.Microsecond
 	}
-	s := &Server{
-		sched:        sched,
-		cells:        cells,
-		reqs:         make(map[core.RequestID]*request),
-		deadlined:    make(map[core.RequestID]*request),
-		cfg:          cfg,
-		faults:       cfg.Faults,
-		maxRetries:   maxRetries,
-		retryBackoff: backoff,
-		batchesBy:    make(map[int]int),
-		quarantined:  make(map[string]int),
-		trace:        newTraceRing(cfg.TraceCapacity),
+	mts := cfg.MaxTasksToSubmit
+	if mts <= 0 {
+		mts = 5
 	}
-	s.cond = sync.NewCond(&s.mu)
+	depth := cfg.WorkerQueueDepth
+	if depth < mts {
+		depth = mts
+	}
+	s := &Server{
+		cfg:           cfg,
+		cells:         cells,
+		faults:        cfg.Faults,
+		maxRetries:    maxRetries,
+		retryBackoff:  backoff,
+		cmds:          make(chan any),
+		completions:   make(chan completion, cfg.Workers*depth+cfg.Workers),
+		slCmds:        make(chan slCmd, 64),
+		taskChans:     make([]chan *core.Task, cfg.Workers),
+		stopdCh:       make(chan struct{}),
+		drained:       make(chan struct{}),
+		live:          make(map[core.RequestID]*request),
+		batchesBy:     make(map[int]int),
+		quarantined:   make(map[string]int),
+		trace:         newTraceRing(cfg.TraceCapacity),
+		workerTasks:   make([]int, cfg.Workers),
+		workerBatches: make([]map[int]int, cfg.Workers),
+		workerDepth:   make([]int, cfg.Workers),
+		dispatchLat:   metrics.NewWindow(4096),
+	}
+	for w := range s.taskChans {
+		s.taskChans[w] = make(chan *core.Task, depth)
+		s.workerBatches[w] = make(map[int]int)
+	}
+	s.wg.Add(2 + cfg.Workers)
+	go s.requestProcessor()
+	go s.schedulerLoop(sched, mts, depth)
 	for w := 0; w < cfg.Workers; w++ {
-		s.wg.Add(1)
-		go s.worker(core.WorkerID(w))
+		go s.workerLoop(w, s.taskChans[w])
 	}
 	return s, nil
 }
 
 // Stop shuts the server down fail-fast: in-flight requests are failed with
 // ErrStopped and their queued work is purged from the scheduler. Stop blocks
-// until all workers exit; tasks already mid-execution are completed against
-// the scheduler (discarding their outputs) so its bookkeeping drains clean.
+// until all pipeline stages exit; tasks already mid-execution are completed
+// against the scheduler (discarding their outputs) so its bookkeeping drains
+// clean.
 func (s *Server) Stop() {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return
+	select {
+	case s.cmds <- stopCmd{}:
+	case <-s.stopdCh:
 	}
-	s.stopped = true
-	for _, r := range s.reqs {
-		s.sched.CancelRequest(r.id)
-		s.outcomes.Failed++
-		s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
-		s.resolve(r, ErrStopped)
-	}
-	s.cond.Broadcast()
-	s.mu.Unlock()
 	s.wg.Wait()
 }
 
 // Drain gracefully shuts the server down: admission stops immediately
 // (submissions fail with ErrDraining), in-flight requests run to
-// resolution, then workers are stopped. The wait is bounded by ctx — on
+// resolution, then the pipeline is stopped. The wait is bounded by ctx — on
 // expiry Drain falls back to Stop's fail-fast semantics, failing whatever
 // is still live, and returns the context error.
 func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
-	if !s.stopped && !s.draining {
-		s.draining = true
-		s.trace.add(Event{At: time.Now(), Kind: EventDrain})
+	select {
+	case s.cmds <- drainCmd{}:
+	case <-s.stopdCh:
 	}
-	s.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		s.mu.Lock()
-		for !s.stopped && len(s.reqs) > 0 {
-			s.cond.Wait()
-		}
-		s.mu.Unlock()
-	}()
 	var ctxErr error
 	select {
-	case <-done:
+	case <-s.drained:
+	case <-s.stopdCh:
 	case <-ctx.Done():
 		ctxErr = ctx.Err()
 	}
 	s.Stop()
-	<-done
 	return ctxErr
 }
 
@@ -295,24 +367,18 @@ func (h *Handle) Cancel() bool {
 	return h.s.terminate(h.req, ErrCancelled)
 }
 
-// terminate resolves a live request early with ErrCancelled or ErrExpired.
+// terminate asks the request processor to resolve a live request early with
+// ErrCancelled or ErrExpired.
 func (s *Server) terminate(r *request, cause error) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, live := s.reqs[r.id]; !live {
+	reply := make(chan bool, 1)
+	select {
+	case s.cmds <- terminateCmd{req: r, cause: cause, reply: reply}:
+		return <-reply
+	case <-r.done:
+		// Already resolved (also covers a stopped server, which resolves
+		// every live request before the request processor exits).
 		return false
 	}
-	s.sched.CancelRequest(r.id)
-	kind := EventCancel
-	if errors.Is(cause, ErrExpired) {
-		kind = EventExpire
-		s.outcomes.Expired++
-	} else {
-		s.outcomes.Cancelled++
-	}
-	s.trace.add(Event{At: time.Now(), Kind: kind, Req: r.id})
-	s.resolve(r, cause)
-	return true
 }
 
 // SubmitOpts carries per-request lifecycle options.
@@ -331,28 +397,21 @@ func (s *Server) SubmitAsync(g *cellgraph.Graph) (*Handle, error) {
 	return s.SubmitAsyncOpts(g, SubmitOpts{})
 }
 
-// SubmitAsyncOpts is SubmitAsync with lifecycle options.
+// SubmitAsyncOpts is SubmitAsync with lifecycle options. Graph validation
+// and state construction run on the caller's goroutine; only the admission
+// decision itself serializes through the request processor.
 func (s *Server) SubmitAsyncOpts(g *cellgraph.Graph, opts SubmitOpts) (*Handle, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.stopped {
+	select {
+	case <-s.stopdCh:
 		return nil, ErrStopped
-	}
-	if s.draining {
-		s.reject()
-		return nil, ErrDraining
-	}
-	if n := s.cfg.MaxQueuedRequests; n > 0 && len(s.reqs) >= n {
-		s.reject()
-		return nil, fmt.Errorf("%w: %d requests queued (max %d)", ErrOverloaded, len(s.reqs), n)
-	}
-	if n := s.cfg.MaxQueuedCells; n > 0 && s.queuedCells+len(g.Nodes) > n {
-		s.reject()
-		return nil, fmt.Errorf("%w: %d cells queued, request adds %d (max %d)", ErrOverloaded, s.queuedCells, len(g.Nodes), n)
+	default:
 	}
 	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
-		// Dead on arrival: shed rather than admit work that cannot meet
-		// its SLA.
+		// Dead on arrival: shed rather than admit work that cannot meet its
+		// SLA. Checked here, on the caller's goroutine, so the shed/expire
+		// classification does not depend on admission queueing delay: a
+		// deadline that passes after this point is an admitted request that
+		// expires normally.
 		s.reject()
 		return nil, fmt.Errorf("%w: deadline passed before admission", ErrExpired)
 	}
@@ -365,49 +424,29 @@ func (s *Server) SubmitAsyncOpts(g *cellgraph.Graph, opts SubmitOpts) (*Handle, 
 	if err != nil {
 		return nil, err
 	}
-	s.nextID++
-	id := s.nextID
+	id := core.RequestID(s.nextID.Add(1))
 	tracker, err := core.NewTracker(id, g)
 	if err != nil {
 		return nil, err
 	}
-	req := &request{id: id, tracker: tracker, state: state, done: make(chan struct{}), deadline: opts.Deadline}
-	s.reqs[id] = req
-	for _, spec := range tracker.InitialSubgraphs() {
-		if err := s.addSubgraph(spec); err != nil {
-			// Roll back earlier subgraphs of this request so none stay
-			// registered without an owning request.
-			s.sched.CancelRequest(id)
-			delete(s.reqs, id)
-			return nil, err
-		}
+	req := &request{
+		id:       id,
+		cells:    len(g.Nodes),
+		tracker:  tracker,
+		state:    state,
+		done:     make(chan struct{}),
+		deadline: opts.Deadline,
 	}
-	if !opts.Deadline.IsZero() {
-		s.deadlined[id] = req
+	reply := make(chan error, 1)
+	select {
+	case s.cmds <- admitCmd{req: req, specs: tracker.InitialSubgraphs(), reply: reply}:
+	case <-s.stopdCh:
+		return nil, ErrStopped
 	}
-	s.queuedCells += len(g.Nodes)
-	s.outcomes.Admitted++
-	s.trace.add(Event{At: time.Now(), Kind: EventAdmit, Req: id})
-	s.cond.Broadcast()
+	if err := <-reply; err != nil {
+		return nil, err
+	}
 	return &Handle{s: s, req: req}, nil
-}
-
-// addSubgraph registers one subgraph, honoring the admission fault seam.
-// Caller holds s.mu.
-func (s *Server) addSubgraph(spec core.SubgraphSpec) error {
-	if s.admitFault != nil {
-		if err := s.admitFault(spec); err != nil {
-			return err
-		}
-	}
-	_, err := s.sched.AddSubgraph(spec)
-	return err
-}
-
-// reject records one shed submission. Caller holds s.mu.
-func (s *Server) reject() {
-	s.outcomes.Rejected++
-	s.trace.add(Event{At: time.Now(), Kind: EventReject})
 }
 
 // Submit enqueues a request's cell graph and blocks until its results are
@@ -421,6 +460,12 @@ func (s *Server) Submit(ctx context.Context, g *cellgraph.Graph) (map[string]*te
 // they stop occupying batch slots, and the request resolves with
 // ErrCancelled (ErrExpired for a deadline-shaped cause).
 func (s *Server) SubmitOpts(ctx context.Context, g *cellgraph.Graph, opts SubmitOpts) (map[string]*tensor.Tensor, error) {
+	// A context that is already dead never admits work: without this check
+	// the pipeline can finish a small request before the select below
+	// observes ctx.Done, making the returned error racy.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	h, err := s.SubmitAsyncOpts(g, opts)
 	if err != nil {
 		return nil, err
@@ -439,257 +484,27 @@ func (s *Server) SubmitOpts(ctx context.Context, g *cellgraph.Graph, opts Submit
 	}
 }
 
-// worker is one GPU worker: it asks the scheduler for batched tasks
-// whenever idle and executes them in FIFO order (§4.2).
-func (s *Server) worker(id core.WorkerID) {
-	defer s.wg.Done()
-	for {
-		s.mu.Lock()
-		var tasks []*core.Task
-		for {
-			if s.stopped {
-				s.mu.Unlock()
-				return
-			}
-			s.sweepExpired()
-			tasks = s.sched.Schedule(id)
-			if len(tasks) > 0 {
-				break
-			}
-			s.cond.Wait()
-		}
-		s.mu.Unlock()
-		for _, task := range tasks {
-			s.execTask(task)
-		}
+// setAdmitFault installs a hook consulted before every AddSubgraph in the
+// scheduler loop — the test seam for the partial-admission rollback path.
+// It blocks until the scheduler loop has applied the hook.
+func (s *Server) setAdmitFault(f func(core.SubgraphSpec) error) {
+	reply := make(chan error, 1)
+	select {
+	case s.slCmds <- slCmd{kind: slSetFault, fault: f, reply: reply}:
+		<-reply
+	case <-s.stopdCh:
 	}
 }
 
-// sweepExpired expires deadline-carrying requests before tasks are formed,
-// so their nodes never enter a batch. Caller holds s.mu.
-func (s *Server) sweepExpired() {
-	if len(s.deadlined) == 0 {
-		return
-	}
-	now := time.Now()
-	for _, r := range s.deadlined {
-		if now.After(r.deadline) {
-			s.expire(r)
-		}
-	}
-}
-
-// expire resolves a live request with ErrExpired. Caller holds s.mu.
-func (s *Server) expire(r *request) {
-	if _, live := s.reqs[r.id]; !live {
-		return
-	}
-	s.sched.CancelRequest(r.id)
-	s.outcomes.Expired++
-	s.trace.add(Event{At: time.Now(), Kind: EventExpire, Req: r.id})
-	s.resolve(r, fmt.Errorf("%w: deadline %v passed", ErrExpired, r.deadline.Format(time.RFC3339Nano)))
-}
-
-// execTask gathers the batched inputs, runs the cell, scatters the outputs
-// and updates dependencies — the worker + request-processor workflow.
-func (s *Server) execTask(task *core.Task) {
-	cell := s.cells[task.TypeKey]
-
-	// Gather: assemble contiguous batched inputs from scattered per-request
-	// rows (the memory-copy step of §4.3).
-	s.mu.Lock()
-	type nodeRef struct {
-		req  *request
-		node cellgraph.NodeID
-	}
-	refs := make([]nodeRef, 0, len(task.Nodes))
-	now := time.Now()
-	for _, nr := range task.Nodes {
-		req, ok := s.reqs[nr.Req]
-		if !ok {
-			// The request resolved earlier (cancelled, expired, failed, or
-			// the server stopped); skip its nodes but keep the rest of the
-			// batch.
-			continue
-		}
-		if !req.deadline.IsZero() && now.After(req.deadline) {
-			s.expire(req)
-			continue
-		}
-		refs = append(refs, nodeRef{req: req, node: nr.Node})
-	}
-	if len(refs) == 0 || s.stopped {
-		// Nothing left to run (or shutdown won the race while this task
-		// was queued on the worker): still complete the task so the
-		// scheduler's pin and in-flight bookkeeping drains clean.
-		if err := s.sched.TaskCompleted(task.ID); err != nil {
-			panic(err)
-		}
-		s.cond.Broadcast()
-		s.mu.Unlock()
-		return
-	}
-	inputs := make(map[string]*tensor.Tensor, len(cell.InputNames()))
-	for _, name := range cell.InputNames() {
-		rows := make([]*tensor.Tensor, len(refs))
-		for i, r := range refs {
-			rows[i] = r.req.state.InputRow(r.node, name)
-			r.req.state.MarkIssued(r.node)
-		}
-		inputs[name] = tensor.ConcatRows(rows...)
-	}
-	s.mu.Unlock()
-
-	// Execute outside the lock: this is the GPU kernel. runStep layers
-	// fault injection, panic containment and transient-error retry around
-	// the raw cell.Step.
-	outs, stepErr := s.runStep(cell, task, inputs, len(refs))
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.stopped {
-		// Shutdown raced the execution: requests are already resolved with
-		// ErrStopped; discard the outputs but keep the scheduler clean.
-		if err := s.sched.TaskCompleted(task.ID); err != nil {
-			panic(err)
-		}
-		s.cond.Broadcast()
-		return
-	}
-	s.tasksRun++
-	s.cellsRun += len(refs)
-	s.batchesBy[len(refs)]++
-	s.trace.add(Event{
-		At: time.Now(), Kind: EventTaskExec,
-		Worker: task.Worker, TypeKey: task.TypeKey, Batch: len(refs),
-	})
-	for i, r := range refs {
-		if _, live := s.reqs[r.req.id]; !live {
-			// A sibling row's failure already resolved this request.
-			continue
-		}
-		if stepErr != nil {
-			s.failRequest(r.req, fmt.Errorf("server: executing %s: %w", cell.Name(), stepErr))
-			continue
-		}
-		rowOut := make(map[string]*tensor.Tensor, len(outs))
-		for name, t := range outs {
-			rowOut[name] = tensor.SliceRows(t, i, i+1)
-		}
-		r.req.state.Complete(r.node, rowOut)
-		released, err := r.req.tracker.NodeDone(r.node)
-		if err != nil {
-			s.failRequest(r.req, err)
-			continue
-		}
-		s.queuedCells--
-		for _, spec := range released {
-			if err := s.addSubgraph(spec); err != nil {
-				// failRequest purges this request's earlier subgraphs; do
-				// not register later ones for the now-dead request.
-				s.failRequest(r.req, err)
-				break
-			}
-		}
-		if r.req.tracker.Finished() {
-			// Return immediately: the request does not wait for others in
-			// the batch.
-			r.req.results = r.req.state.Results()
-			s.outcomes.Completed++
-			s.trace.add(Event{At: time.Now(), Kind: EventComplete, Req: r.req.id})
-			s.resolve(r.req, nil)
-		}
-	}
-	if err := s.sched.TaskCompleted(task.ID); err != nil {
-		// A completion for a task the scheduler does not know indicates a
-		// bug in this package; surface loudly.
-		panic(err)
-	}
-	s.cond.Broadcast()
-}
-
-// runStep executes one task attempt chain: consult the fault injector,
-// contain panics, and retry transient errors with exponential backoff.
-func (s *Server) runStep(cell rnn.Cell, task *core.Task, inputs map[string]*tensor.Tensor, batch int) (map[string]*tensor.Tensor, error) {
-	backoff := s.retryBackoff
-	for attempt := 0; ; attempt++ {
-		outs, err := s.stepOnce(cell, task, inputs, batch)
-		if err == nil || !IsTransient(err) || attempt >= s.maxRetries {
-			return outs, err
-		}
-		s.mu.Lock()
-		s.outcomes.Retries++
-		s.trace.add(Event{
-			At: time.Now(), Kind: EventRetry,
-			Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
-		})
-		s.mu.Unlock()
-		time.Sleep(backoff)
-		backoff *= 2
-	}
-}
-
-// stepOnce is one execution attempt. A panicking cell (injected or real) is
-// recovered here — the worker survives, the batch's requests fail, and the
-// cell's quarantine counter grows.
-func (s *Server) stepOnce(cell rnn.Cell, task *core.Task, inputs map[string]*tensor.Tensor, batch int) (outs map[string]*tensor.Tensor, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			s.mu.Lock()
-			s.outcomes.RecoveredPanics++
-			s.quarantined[task.TypeKey]++
-			s.trace.add(Event{
-				At: time.Now(), Kind: EventPanic,
-				Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
-			})
-			s.mu.Unlock()
-			err = fmt.Errorf("%w: %s: %v", ErrCellPanic, cell.Name(), p)
-			outs = nil
-		}
-	}()
-	if s.faults != nil {
-		switch d := s.faults.Inject(task.TypeKey, batch); d.Kind {
-		case FaultDelay:
-			time.Sleep(d.Delay)
-		case FaultError:
-			if d.Err != nil {
-				return nil, d.Err
-			}
-			return nil, ErrInjected
-		case FaultTransient:
-			if d.Err != nil {
-				return nil, &TransientError{Err: d.Err}
-			}
-			return nil, &TransientError{Err: ErrInjected}
-		case FaultPanic:
-			panic(ErrInjected)
-		}
-	}
-	return cell.Step(inputs)
-}
-
-// failRequest finalizes a request with an execution error, purging its
-// queued work from the scheduler. Caller holds s.mu.
-func (s *Server) failRequest(r *request, err error) {
-	if _, live := s.reqs[r.id]; !live {
-		return
-	}
-	s.sched.CancelRequest(r.id)
-	s.outcomes.Failed++
-	s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
-	s.resolve(r, err)
-}
-
-// resolve is the single exit point of a live request: it records the
-// outcome, releases waiters, and updates backlog accounting. Caller holds
-// s.mu and has already classified the outcome (counter + trace event).
-func (s *Server) resolve(r *request, err error) {
-	r.err = err
-	close(r.done)
-	delete(s.reqs, r.id)
-	delete(s.deadlined, r.id)
-	s.queuedCells -= r.tracker.Remaining()
-	s.cond.Broadcast()
+// WorkerStats describes one worker's slice of the pipeline.
+type WorkerStats struct {
+	// TasksRun counts batched tasks this worker executed.
+	TasksRun int
+	// QueueDepth is the worker's current task-channel backlog (dispatched,
+	// not yet completed).
+	QueueDepth int
+	// BatchSizes is this worker's batch-size histogram.
+	BatchSizes map[int]int
 }
 
 // Stats reports execution counters.
@@ -707,12 +522,20 @@ type Stats struct {
 	// Quarantined counts recovered panics per cell type — a persistently
 	// growing entry points at a broken kernel.
 	Quarantined map[string]int
+	// Workers breaks execution down per pipeline worker.
+	Workers []WorkerStats
+	// DispatchRounds counts scheduler-loop rounds that produced tasks.
+	DispatchRounds int
+	// DispatchP50 and DispatchP99 are recent scheduler-loop dispatch
+	// latencies (Schedule call plus hand-off to the worker channel).
+	DispatchP50 time.Duration
+	DispatchP99 time.Duration
 }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	by := make(map[int]int, len(s.batchesBy))
 	for k, v := range s.batchesBy {
 		by[k] = v
@@ -721,22 +544,47 @@ func (s *Server) Stats() Stats {
 	for k, v := range s.quarantined {
 		q[k] = v
 	}
-	return Stats{
-		TasksRun:     s.tasksRun,
-		CellsRun:     s.cellsRun,
-		BatchSizes:   by,
-		LiveRequests: len(s.reqs),
-		QueuedCells:  s.queuedCells,
-		Outcomes:     s.outcomes,
-		Quarantined:  q,
+	ws := make([]WorkerStats, len(s.workerTasks))
+	for w := range ws {
+		wb := make(map[int]int, len(s.workerBatches[w]))
+		for k, v := range s.workerBatches[w] {
+			wb[k] = v
+		}
+		ws[w] = WorkerStats{
+			TasksRun:   s.workerTasks[w],
+			QueueDepth: s.workerDepth[w],
+			BatchSizes: wb,
+		}
 	}
+	return Stats{
+		TasksRun:       s.tasksRun,
+		CellsRun:       s.cellsRun,
+		BatchSizes:     by,
+		LiveRequests:   s.liveRequests,
+		QueuedCells:    s.queuedCells,
+		Outcomes:       s.outcomes,
+		Quarantined:    q,
+		Workers:        ws,
+		DispatchRounds: s.dispatchRounds,
+		DispatchP50:    s.dispatchLat.P50(),
+		DispatchP99:    s.dispatchLat.P99(),
+	}
+}
+
+// schedulerGauges returns the scheduler-loop-mirrored core.Scheduler gauges
+// (in-flight tasks, live subgraphs, total ready nodes). The mirror is
+// updated after every scheduler-loop message, so it is eventually
+// consistent during operation and exact once the pipeline is idle.
+func (s *Server) schedulerGauges() (inflight, liveSubgraphs, ready int) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.schedInflight, s.schedLive, s.schedReady
 }
 
 // SchedulerClean reports whether the scheduler's queues and bookkeeping
 // drained to empty — the invariant shutdown must restore. Exposed for
 // tests and shutdown assertions.
 func (s *Server) SchedulerClean() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sched.InflightTasks() == 0 && s.sched.LiveSubgraphs() == 0 && s.sched.TotalReady() == 0
+	inflight, live, ready := s.schedulerGauges()
+	return inflight == 0 && live == 0 && ready == 0
 }

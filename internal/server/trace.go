@@ -95,8 +95,8 @@ func shortType(key string) string {
 	return key
 }
 
-// traceRing is a fixed-capacity ring buffer of events. Caller holds the
-// server mutex.
+// traceRing is a fixed-capacity ring buffer of events. Caller holds
+// Server.statsMu.
 type traceRing struct {
 	buf   []Event
 	next  int
@@ -142,8 +142,8 @@ func (t *traceRing) snapshot() []Event {
 // number of events observed since start. Tracing must have been enabled
 // with Config.TraceCapacity.
 func (s *Server) Trace() ([]Event, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	if s.trace == nil {
 		return nil, 0
 	}

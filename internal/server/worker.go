@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"batchmaker/internal/core"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/tensor"
+)
+
+// gatherBufs is one worker's private gather scratch: a reused batch buffer
+// per (cell type, input name) plus row-pointer scratch, so steady-state
+// gather performs zero allocations (§4.3's memory-copy step). Buffers grow
+// geometrically to the largest batch seen.
+type gatherBufs struct {
+	bufs map[string]*tensor.Tensor
+	rows [][]*tensor.Tensor
+}
+
+func newGatherBufs() *gatherBufs {
+	return &gatherBufs{bufs: make(map[string]*tensor.Tensor)}
+}
+
+// scratch returns per-input row-pointer slices with capacity for n rows.
+func (g *gatherBufs) scratch(inputs, n int) [][]*tensor.Tensor {
+	for len(g.rows) < inputs {
+		g.rows = append(g.rows, nil)
+	}
+	for i := 0; i < inputs; i++ {
+		if cap(g.rows[i]) < n {
+			g.rows[i] = make([]*tensor.Tensor, 0, 2*n)
+		}
+		g.rows[i] = g.rows[i][:n]
+	}
+	return g.rows[:inputs]
+}
+
+// batch returns the reused [>=n, cols] batch buffer for one input.
+func (g *gatherBufs) batch(typeKey, input string, n, cols int) *tensor.Tensor {
+	k := typeKey + "\x00" + input
+	b := g.bufs[k]
+	if b == nil || b.Dim(0) < n || b.Dim(1) != cols {
+		rows := n
+		if b != nil && b.Dim(1) == cols && 2*b.Dim(0) > rows {
+			rows = 2 * b.Dim(0)
+		}
+		b = tensor.New(rows, cols)
+		g.bufs[k] = b
+	}
+	return b
+}
+
+// rowWidth returns the column count of a one-row tensor (rank-1 or [1, c]).
+func rowWidth(t *tensor.Tensor) int {
+	if t.Rank() == 1 {
+		return t.Dim(0)
+	}
+	return t.Dim(t.Rank() - 1)
+}
+
+// workerLoop is one GPU worker: it executes the tasks on its channel in
+// FIFO order (§4.2) and pushes a completion record per task. When its
+// channel closes (shutdown, after the scheduler loop's bookkeeping drained)
+// it emits an exit sentinel so the request processor knows no more
+// completions can arrive.
+func (s *Server) workerLoop(id int, tasks <-chan *core.Task) {
+	defer s.wg.Done()
+	bufs := newGatherBufs()
+	for task := range tasks {
+		s.completions <- s.execTask(id, task, bufs)
+	}
+	s.completions <- completion{worker: id, exit: true}
+}
+
+// execTask gathers the batched inputs, runs the cell, and scatters the
+// outputs into per-request state. The scatter happens here — not in the
+// completion stage — because intra-subgraph successors are released at
+// submit time and rely on FIFO execution on the same worker: a successor's
+// gather must observe its dependency's scatter, exactly like consecutive
+// kernels on one GPU stream. Dependency tracking and resolution stay with
+// the request processor.
+func (s *Server) execTask(id int, task *core.Task, bufs *gatherBufs) completion {
+	cell := s.cells[task.TypeKey]
+	now := time.Now()
+	refs := make([]execRef, 0, len(task.Nodes))
+	s.liveMu.RLock()
+	for _, nr := range task.Nodes {
+		r := s.live[nr.Req]
+		if r == nil || r.dead() {
+			// The request resolved earlier (cancelled, expired, failed, or
+			// the server stopped) or a sibling task's failure poisoned it;
+			// skip its rows but keep the rest of the batch.
+			continue
+		}
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			// Past-deadline rows stop consuming batch slots immediately;
+			// the request processor's timer resolves the request.
+			continue
+		}
+		refs = append(refs, execRef{req: r, node: nr.Node})
+	}
+	s.liveMu.RUnlock()
+	if len(refs) == 0 {
+		// Nothing left to run: the completion record still retires the
+		// task so the scheduler's pin and in-flight bookkeeping drain
+		// clean.
+		return completion{worker: id, task: task}
+	}
+
+	// Gather: assemble contiguous batched inputs from scattered per-request
+	// rows (the memory-copy step of §4.3) into this worker's reused
+	// buffers. Row pointers are read under each request's state lock; the
+	// copies happen outside it (completed outputs are immutable).
+	names := cell.InputNames()
+	rowsByName := bufs.scratch(len(names), len(refs))
+	for i, ref := range refs {
+		ref.req.stateMu.Lock()
+		for j, name := range names {
+			rowsByName[j][i] = ref.req.state.InputRow(ref.node, name)
+		}
+		ref.req.state.MarkIssued(ref.node)
+		ref.req.stateMu.Unlock()
+	}
+	inputs := make(map[string]*tensor.Tensor, len(names))
+	for j, name := range names {
+		buf := bufs.batch(task.TypeKey, name, len(refs), rowWidth(rowsByName[j][0]))
+		inputs[name] = tensor.GatherRowsInto(buf, rowsByName[j])
+	}
+
+	// Execute: this is the GPU kernel. runStep layers fault injection,
+	// panic containment and transient-error retry around the raw
+	// cell.Step.
+	outs, stepErr := s.runStep(cell, task, inputs, len(refs))
+
+	s.statsMu.Lock()
+	s.tasksRun++
+	s.cellsRun += len(refs)
+	s.batchesBy[len(refs)]++
+	s.workerTasks[id]++
+	s.workerBatches[id][len(refs)]++
+	s.trace.add(Event{
+		At: time.Now(), Kind: EventTaskExec,
+		Worker: task.Worker, TypeKey: task.TypeKey, Batch: len(refs),
+	})
+	s.statsMu.Unlock()
+
+	if stepErr != nil {
+		// Poison before the failure record is enqueued: successor tasks
+		// already queued behind this one must not gather rows whose
+		// dependencies never completed.
+		for _, ref := range refs {
+			ref.req.poisoned.Store(true)
+		}
+		return completion{worker: id, task: task, executed: refs, err: stepErr}
+	}
+
+	// Scatter: copy each batch-output row into per-request row tensors
+	// (carved from one allocation per output) and complete the nodes, so
+	// successor gathers — on this worker via FIFO, on others via the
+	// completion stage's release — see finished inputs.
+	outRows := make(map[string][]*tensor.Tensor, len(outs))
+	for name, t := range outs {
+		rows := tensor.NewRows(len(refs), t.Dim(1))
+		tensor.ScatterRowsInto(rows, t)
+		outRows[name] = rows
+	}
+	for i, ref := range refs {
+		if ref.req.resolved.Load() {
+			// Resolved mid-execution; its state will never be read.
+			continue
+		}
+		rowOut := make(map[string]*tensor.Tensor, len(outRows))
+		for name, rows := range outRows {
+			rowOut[name] = rows[i]
+		}
+		ref.req.stateMu.Lock()
+		ref.req.state.Complete(ref.node, rowOut)
+		ref.req.stateMu.Unlock()
+	}
+	return completion{worker: id, task: task, executed: refs}
+}
+
+// runStep executes one task attempt chain: consult the fault injector,
+// contain panics, and retry transient errors with exponential backoff.
+func (s *Server) runStep(cell rnn.Cell, task *core.Task, inputs map[string]*tensor.Tensor, batch int) (map[string]*tensor.Tensor, error) {
+	backoff := s.retryBackoff
+	for attempt := 0; ; attempt++ {
+		outs, err := s.stepOnce(cell, task, inputs, batch)
+		if err == nil || !IsTransient(err) || attempt >= s.maxRetries {
+			return outs, err
+		}
+		s.statsMu.Lock()
+		s.outcomes.Retries++
+		s.trace.add(Event{
+			At: time.Now(), Kind: EventRetry,
+			Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
+		})
+		s.statsMu.Unlock()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// stepOnce is one execution attempt. A panicking cell (injected or real) is
+// recovered here — the worker survives, the batch's requests fail, and the
+// cell's quarantine counter grows.
+func (s *Server) stepOnce(cell rnn.Cell, task *core.Task, inputs map[string]*tensor.Tensor, batch int) (outs map[string]*tensor.Tensor, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.statsMu.Lock()
+			s.outcomes.RecoveredPanics++
+			s.quarantined[task.TypeKey]++
+			s.trace.add(Event{
+				At: time.Now(), Kind: EventPanic,
+				Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
+			})
+			s.statsMu.Unlock()
+			err = fmt.Errorf("%w: %s: %v", ErrCellPanic, cell.Name(), p)
+			outs = nil
+		}
+	}()
+	if s.faults != nil {
+		switch d := s.faults.Inject(task.TypeKey, batch); d.Kind {
+		case FaultDelay:
+			time.Sleep(d.Delay)
+		case FaultError:
+			if d.Err != nil {
+				return nil, d.Err
+			}
+			return nil, ErrInjected
+		case FaultTransient:
+			if d.Err != nil {
+				return nil, &TransientError{Err: d.Err}
+			}
+			return nil, &TransientError{Err: ErrInjected}
+		case FaultPanic:
+			panic(ErrInjected)
+		}
+	}
+	return cell.Step(inputs)
+}

@@ -21,21 +21,56 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
+	matMulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// matMulInto is the kernel behind MatMul: 4-row register blocking, so one
+// sweep of b serves four rows of a and each loaded weight feeds four
+// multiply-adds. Per-row cost therefore drops as the batch grows — the
+// kernel-level reason a batched task is cheaper than the same rows run as
+// batch-1 tasks, mirroring the weight-reuse economics of batched GEMM on
+// an accelerator.
+func matMulInto(dst, a, b []float32, m, k, n int) {
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		a2 := a[(i+2)*k : (i+3)*k]
+		a3 := a[(i+3)*k : (i+4)*k]
+		o0 := dst[(i+0)*n : (i+1)*n]
+		o1 := dst[(i+1)*n : (i+2)*n]
+		o2 := dst[(i+2)*n : (i+3)*n]
+		o3 := dst[(i+3)*n : (i+4)*n]
+		for p := 0; p < k; p++ {
+			v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				// Whole block skips: keeps one-hot embedding rows cheap.
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				o0[j] += v0 * bv
+				o1[j] += v1 * bv
+				o2[j] += v2 * bv
+				o3[j] += v3 * bv
+			}
+		}
+	}
+	for ; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
 			av := arow[p]
 			if av == 0 {
 				continue
 			}
-			brow := b.data[p*n : (p+1)*n]
+			brow := b[p*n : (p+1)*n]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatMulAddBias computes a @ w + bias, broadcasting bias (shape [n]) across
@@ -332,6 +367,76 @@ func SliceRows(a *Tensor, lo, hi int) *Tensor {
 	out := New(hi-lo, cols)
 	copy(out.data, a.data[lo*cols:hi*cols])
 	return out
+}
+
+// GatherRowsInto copies one row from each source tensor into the leading
+// rows of dst and returns a [len(rows), cols] view sharing dst's backing
+// array. Each source must hold exactly one row (rank-1 of length cols, or
+// rank-2 [1, cols]); dst must be rank-2 with at least len(rows) rows of the
+// same width. It is the allocation-free batched "gather" of §4.3: workers
+// reuse one dst buffer per (cell type, input) across tasks. The returned
+// view is only valid until the next gather into the same buffer.
+func GatherRowsInto(dst *Tensor, rows []*Tensor) *Tensor {
+	if dst.Rank() != 2 {
+		panic("tensor: GatherRowsInto requires a rank-2 destination")
+	}
+	if len(rows) == 0 {
+		panic("tensor: GatherRowsInto of nothing")
+	}
+	if len(rows) > dst.shape[0] {
+		panic(fmt.Sprintf("tensor: GatherRowsInto of %d rows into %d-row buffer", len(rows), dst.shape[0]))
+	}
+	cols := dst.shape[1]
+	for i, r := range rows {
+		switch {
+		case r.Rank() == 1 && r.shape[0] == cols:
+		case r.Rank() == 2 && r.shape[0] == 1 && r.shape[1] == cols:
+		default:
+			panic(fmt.Sprintf("tensor: GatherRowsInto row %d has shape %v, want one row of %d", i, r.shape, cols))
+		}
+		copy(dst.data[i*cols:(i+1)*cols], r.data)
+	}
+	return &Tensor{shape: []int{len(rows), cols}, data: dst.data[:len(rows)*cols]}
+}
+
+// ScatterRowsInto copies row i of src into dsts[i], the inverse hand-off of
+// GatherRowsInto: a batched cell output is scattered back into per-request
+// row tensors. Each destination must hold exactly one row of src's width.
+// Rows are copied, never aliased, so src (typically a worker-owned batch
+// output) may be reused or mutated immediately after the call.
+func ScatterRowsInto(dsts []*Tensor, src *Tensor) {
+	if src.Rank() != 2 {
+		panic("tensor: ScatterRowsInto requires a rank-2 source")
+	}
+	if len(dsts) != src.shape[0] {
+		panic(fmt.Sprintf("tensor: ScatterRowsInto needs %d destinations, got %d", src.shape[0], len(dsts)))
+	}
+	cols := src.shape[1]
+	for i, d := range dsts {
+		switch {
+		case d.Rank() == 1 && d.shape[0] == cols:
+		case d.Rank() == 2 && d.shape[0] == 1 && d.shape[1] == cols:
+		default:
+			panic(fmt.Sprintf("tensor: ScatterRowsInto destination %d has shape %v, want one row of %d", i, d.shape, cols))
+		}
+		copy(d.data, src.data[i*cols:(i+1)*cols])
+	}
+}
+
+// NewRows carves n independent [1, cols] row tensors out of a single backing
+// allocation. The rows do not overlap, so they are safe to hand to different
+// owners; sharing one allocation keeps a scattered batch cache-adjacent and
+// turns n+1 allocations into 2.
+func NewRows(n, cols int) []*Tensor {
+	if n <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: NewRows(%d, %d) out of range", n, cols))
+	}
+	backing := make([]float32, n*cols)
+	rows := make([]*Tensor, n)
+	for i := range rows {
+		rows[i] = &Tensor{shape: []int{1, cols}, data: backing[i*cols : (i+1)*cols : (i+1)*cols]}
+	}
+	return rows
 }
 
 // Transpose returns the transpose of a rank-2 tensor.

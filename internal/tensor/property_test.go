@@ -110,6 +110,118 @@ func TestPropConcatRowsPreservesRows(t *testing.T) {
 	}
 }
 
+func TestPropGatherIntoScatterIntoIdentity(t *testing.T) {
+	// Gathering per-request rows into a reused batch buffer and scattering
+	// the batch back into fresh rows is the identity on row contents.
+	f := func(seed uint64, nd, cd uint8) bool {
+		n, cols := clampDim(nd), clampDim(cd)
+		rows := make([]*Tensor, n)
+		for i := range rows {
+			if i%2 == 0 {
+				rows[i] = randTensor(seed+uint64(i), 1, cols)
+			} else {
+				// Rank-1 rows must be accepted too, like ConcatRows.
+				rows[i] = randTensor(seed+uint64(i), 1, cols).Reshape(cols)
+			}
+		}
+		buf := New(n+3, cols) // over-sized buffer, like a MaxBatch-sized worker buffer
+		batch := GatherRowsInto(buf, rows)
+		if batch.Dim(0) != n || batch.Dim(1) != cols {
+			return false
+		}
+		back := NewRows(n, cols)
+		ScatterRowsInto(back, batch)
+		for i := range rows {
+			if !back[i].Reshape(cols).Equal(rows[i].Reshape(cols)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropGatherRowsIntoMatchesConcatRows(t *testing.T) {
+	// The buffer-reusing gather computes exactly what ConcatRows computes.
+	f := func(seed uint64, nd, cd uint8) bool {
+		n, cols := clampDim(nd), clampDim(cd)
+		rows := make([]*Tensor, n)
+		for i := range rows {
+			rows[i] = randTensor(seed+uint64(i), 1, cols)
+		}
+		buf := New(n, cols)
+		return GatherRowsInto(buf, rows).Equal(ConcatRows(rows...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropScatterRowsIntoDoesNotAlias(t *testing.T) {
+	// Scattered rows are copies: mutating the source batch afterwards (as a
+	// worker does when it reuses its gather buffer for the next task) must
+	// not change previously scattered outputs, and the carved destination
+	// rows must not alias each other.
+	f := func(seed uint64, nd, cd uint8) bool {
+		n, cols := clampDim(nd), clampDim(cd)
+		src := randTensor(seed, n, cols)
+		want := src.Clone()
+		dsts := NewRows(n, cols)
+		ScatterRowsInto(dsts, src)
+		for i := range src.Data() {
+			src.Data()[i] += 1000
+		}
+		for i := range dsts {
+			if !dsts[i].Reshape(cols).Equal(want.Row(i).Reshape(cols)) {
+				return false
+			}
+		}
+		// Writing one destination row must leave its neighbors intact.
+		if n > 1 {
+			for j := 0; j < cols; j++ {
+				dsts[0].Set(-999, 0, j)
+			}
+			if !dsts[1].Reshape(cols).Equal(want.Row(1).Reshape(cols)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropGatherRowsIntoReusedBufferIsOverwritten(t *testing.T) {
+	// Reusing the same buffer for a second gather fully overwrites the view:
+	// no rows from the first batch leak into the second (prefix reuse).
+	f := func(seed uint64, nd, cd uint8) bool {
+		n, cols := clampDim(nd), clampDim(cd)
+		buf := New(n+4, cols)
+		first := make([]*Tensor, n+2)
+		for i := range first {
+			first[i] = randTensor(seed+uint64(i), 1, cols)
+		}
+		GatherRowsInto(buf, first)
+		second := make([]*Tensor, n)
+		for i := range second {
+			second[i] = randTensor(seed+100+uint64(i), 1, cols)
+		}
+		batch := GatherRowsInto(buf, second)
+		for i := range second {
+			if !batch.Row(i).Equal(second[i].Reshape(cols)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPropSigmoidRangeAndMonotone(t *testing.T) {
 	f := func(xs []float32) bool {
 		if len(xs) == 0 {
