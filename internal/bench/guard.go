@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// GuardReport is the slice of BENCH_server.json the regression guard reads:
+// the recorded throughput of the two engines. Extra keys in the file are
+// ignored so the guard survives report-format growth.
+type GuardReport struct {
+	Benchmark  string `json:"benchmark"`
+	GlobalLock struct {
+		ReqPerSec float64 `json:"requests_per_sec"`
+	} `json:"global_lock"`
+	Pipelined struct {
+		ReqPerSec float64 `json:"requests_per_sec"`
+	} `json:"pipelined"`
+	SpeedupReqPerSec float64 `json:"speedup_req_per_sec"`
+}
+
+// ReadGuardReport loads and sanity-checks a recorded benchmark file.
+func ReadGuardReport(path string) (*GuardReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading %s: %w", path, err)
+	}
+	var r GuardReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.GlobalLock.ReqPerSec <= 0 || r.Pipelined.ReqPerSec <= 0 {
+		return nil, fmt.Errorf("bench: %s records non-positive throughput (global_lock=%.1f pipelined=%.1f)",
+			path, r.GlobalLock.ReqPerSec, r.Pipelined.ReqPerSec)
+	}
+	return &r, nil
+}
+
+// Speedup returns pipelined over global-lock request throughput.
+func (r *GuardReport) Speedup() float64 {
+	return r.Pipelined.ReqPerSec / r.GlobalLock.ReqPerSec
+}
+
+// CheckSpeedup fails when the recorded pipelined engine is slower than the
+// recorded global-lock baseline by more than minRatio allows. CI runs it
+// with minRatio 1.0: the pipeline must never regress below the baseline it
+// exists to beat. It also cross-checks the file's own speedup figure so a
+// hand-edited report cannot disagree with its inputs.
+func (r *GuardReport) CheckSpeedup(minRatio float64) error {
+	s := r.Speedup()
+	if s < minRatio {
+		return fmt.Errorf("bench: pipelined %.1f req/s is %.3fx the global-lock baseline %.1f req/s (minimum %.2fx)",
+			r.Pipelined.ReqPerSec, s, r.GlobalLock.ReqPerSec, minRatio)
+	}
+	if r.SpeedupReqPerSec != 0 {
+		const tol = 1e-6
+		if d := s - r.SpeedupReqPerSec; d > tol || d < -tol {
+			return fmt.Errorf("bench: recorded speedup %.6f disagrees with throughputs (%.6f) — stale or edited report",
+				r.SpeedupReqPerSec, s)
+		}
+	}
+	return nil
+}

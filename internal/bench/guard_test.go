@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchGuard is the CI regression gate: the checked-in BENCH_server.json
+// must show the pipelined engine at or above the global-lock baseline.
+func TestBenchGuard(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_server.json")
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		t.Skip("no recorded BENCH_server.json (run TestRecordLiveBench with BENCH_RECORD=1)")
+	}
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckSpeedup(1.0); err != nil {
+		t.Fatalf("throughput regression: %v", err)
+	}
+	t.Logf("pipelined %.0f req/s vs global-lock %.0f req/s (%.2fx)",
+		r.Pipelined.ReqPerSec, r.GlobalLock.ReqPerSec, r.Speedup())
+}
+
+func writeGuardFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGuardDetectsRegression(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 3000},
+		"speedup_req_per_sec": 0.75
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.CheckSpeedup(1.0)
+	if err == nil {
+		t.Fatal("guard accepted a 0.75x regression")
+	}
+	if !strings.Contains(err.Error(), "0.750x") {
+		t.Fatalf("error %q does not report the measured ratio", err)
+	}
+}
+
+func TestGuardDetectsInconsistentReport(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"speedup_req_per_sec": 2.0
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckSpeedup(1.0); err == nil {
+		t.Fatal("guard accepted a report whose speedup disagrees with its throughputs")
+	}
+}
+
+func TestGuardRejectsMalformedReports(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"garbage", "not json"},
+		{"empty object", "{}"},
+		{"zero throughput", `{"global_lock":{"requests_per_sec":0},"pipelined":{"requests_per_sec":10}}`},
+		{"negative throughput", `{"global_lock":{"requests_per_sec":10},"pipelined":{"requests_per_sec":-1}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadGuardReport(writeGuardFile(t, tc.in)); err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+		})
+	}
+	if _, err := ReadGuardReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}

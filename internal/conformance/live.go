@@ -1,0 +1,217 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"batchmaker/internal/core"
+	"batchmaker/internal/server"
+	"batchmaker/internal/tensor"
+)
+
+// Outcome is a request's terminal state as observed by its caller.
+type Outcome int
+
+// Outcomes. Shed means the submission never entered the system (admission
+// control, drain, or dead-on-arrival deadline); the others are terminal
+// states of admitted requests.
+const (
+	OutcomeCompleted Outcome = iota
+	OutcomeCancelled
+	OutcomeExpired
+	OutcomeFailed
+	OutcomeShed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeCancelled:
+		return "cancelled"
+	case OutcomeExpired:
+		return "expired"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeShed:
+		return "shed"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// LiveOpts configures one live-engine conformance run.
+type LiveOpts struct {
+	// Workers is the pipeline worker count (default 2).
+	Workers int
+	// MaxBatch is the per-type maximum batch size (default 8).
+	MaxBatch int
+	// MaxTasksToSubmit is the per-round dispatch bound (default 3).
+	MaxTasksToSubmit int
+	// TimeScale converts the workload's virtual durations to real ones
+	// (real = virtual × TimeScale; default 1, i.e. virtual milliseconds run
+	// as real milliseconds).
+	TimeScale float64
+	// Faults, when non-nil, is installed as the server's fault injector.
+	Faults server.FaultInjector
+	// Chaos forwards deliberate scheduler defects (the harness self-test).
+	Chaos core.Chaos
+	// MaxQueuedCells, when positive, enables admission control so the run
+	// also exercises load shedding.
+	MaxQueuedCells int
+}
+
+func (o LiveOpts) withDefaults() LiveOpts {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxTasksToSubmit <= 0 {
+		o.MaxTasksToSubmit = 3
+	}
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
+	return o
+}
+
+// LiveResult is everything the invariant checker needs from one live run.
+type LiveResult struct {
+	// Outcome, Errs and Results are keyed by workload request Index.
+	Outcome map[int]Outcome
+	Errs    map[int]error
+	Results map[int]map[string]*tensor.Tensor
+	// IDs maps workload index → server request ID for admitted requests;
+	// RevIDs is the inverse.
+	IDs    map[int]core.RequestID
+	RevIDs map[core.RequestID]int
+
+	Stats      server.Stats
+	Trace      []server.Event
+	TraceTotal int
+	// MaxBatch echoes the run's per-type batch bound for the checker.
+	MaxBatch int
+	// SchedulerClean records whether the scheduler's queues and gauges
+	// drained to zero after every request resolved.
+	SchedulerClean bool
+}
+
+// RunLive executes the workload against a freshly built live server:
+// requests are submitted in arrival order with scaled inter-arrival gaps,
+// cancellations and deadlines follow the workload's schedule, and the run
+// ends only after every submitted request has resolved.
+func RunLive(m *Model, w *Workload, opts LiveOpts) (*LiveResult, error) {
+	opts = opts.withDefaults()
+	// The trace must hold every event of the run — the conservation checks
+	// are meaningless over an evicted ring.
+	traceCap := 4*w.Cells() + 16*len(w.Reqs) + 256
+	cfg := server.Config{
+		Workers:          opts.Workers,
+		MaxTasksToSubmit: opts.MaxTasksToSubmit,
+		TraceCapacity:    traceCap,
+		Faults:           opts.Faults,
+		SchedulerChaos:   opts.Chaos,
+		MaxQueuedCells:   opts.MaxQueuedCells,
+		Cells: []server.CellSpec{
+			{Cell: m.LSTM, MaxBatch: opts.MaxBatch},
+			{Cell: m.Enc, MaxBatch: opts.MaxBatch, Priority: 0},
+			{Cell: m.Dec, MaxBatch: opts.MaxBatch, Priority: 1},
+			{Cell: m.Leaf, MaxBatch: opts.MaxBatch, Priority: 0},
+			{Cell: m.Internal, MaxBatch: opts.MaxBatch, Priority: 1},
+		},
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Stop()
+
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * opts.TimeScale)
+	}
+
+	res := &LiveResult{
+		MaxBatch: opts.MaxBatch,
+		Outcome:  make(map[int]Outcome, len(w.Reqs)),
+		Errs:    make(map[int]error, len(w.Reqs)),
+		Results: make(map[int]map[string]*tensor.Tensor),
+		IDs:     make(map[int]core.RequestID),
+		RevIDs:  make(map[core.RequestID]int),
+	}
+
+	type admitted struct {
+		idx    int
+		handle *server.Handle
+	}
+	var handles []admitted
+	var cancels sync.WaitGroup
+	start := time.Now()
+	for _, r := range w.Reqs {
+		// Open-loop arrivals: sleep until the request's scaled arrival time.
+		if wait := scale(r.Arrival) - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		g, err := m.BuildGraph(r)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: building request %d: %w", r.Index, err)
+		}
+		var so server.SubmitOpts
+		if r.Deadline > 0 {
+			so.Deadline = time.Now().Add(scale(r.Deadline))
+		}
+		h, err := srv.SubmitAsyncOpts(g, so)
+		if err != nil {
+			// Never admitted: overload shed, drain, or dead-on-arrival
+			// deadline. All count as Shed for conservation purposes.
+			res.Outcome[r.Index] = OutcomeShed
+			res.Errs[r.Index] = err
+			continue
+		}
+		res.IDs[r.Index] = h.ID()
+		res.RevIDs[h.ID()] = r.Index
+		handles = append(handles, admitted{idx: r.Index, handle: h})
+		if r.CancelAfter > 0 {
+			cancels.Add(1)
+			delay := scale(r.CancelAfter)
+			go func(h *server.Handle) {
+				defer cancels.Done()
+				time.Sleep(delay)
+				h.Cancel()
+			}(h)
+		}
+	}
+
+	for _, a := range handles {
+		<-a.handle.Done()
+		out, err := a.handle.Result()
+		res.Errs[a.idx] = err
+		switch {
+		case err == nil:
+			res.Outcome[a.idx] = OutcomeCompleted
+			res.Results[a.idx] = out
+		case errors.Is(err, server.ErrCancelled):
+			res.Outcome[a.idx] = OutcomeCancelled
+		case errors.Is(err, server.ErrExpired):
+			res.Outcome[a.idx] = OutcomeExpired
+		default:
+			res.Outcome[a.idx] = OutcomeFailed
+		}
+	}
+	cancels.Wait()
+
+	// Graceful drain: no live requests remain, so this just flushes the
+	// pipeline and stops it; the final stats mirror is the drained state.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return nil, fmt.Errorf("conformance: drain: %w", err)
+	}
+	res.Stats = srv.Stats()
+	res.Trace, res.TraceTotal = srv.Trace()
+	res.SchedulerClean = srv.SchedulerClean()
+	return res, nil
+}

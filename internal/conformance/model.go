@@ -1,0 +1,113 @@
+// Package conformance is a deterministic, seeded test harness for the
+// cellular-batching serving stack. It drives the live pipelined engine
+// (internal/server) and a virtual-clock scheduler run (internal/sim engine +
+// internal/core) from the same generated workload and checks both against a
+// sequential per-request oracle (cellgraph.ExecuteSequential).
+//
+// The oracle hierarchy is:
+//
+//	seqexec   — ground truth numerics, one request at a time, batch size 1
+//	sim       — deterministic virtual-time schedule of the same workload;
+//	            same seed ⇒ identical timeline, so scheduling regressions
+//	            fail reproducibly
+//	live      — the real concurrent pipeline; timing is nondeterministic, so
+//	            it is checked against invariants that must hold under every
+//	            interleaving (numerical equivalence, conservation, dependency
+//	            order, clean drain)
+//
+// On an invariant violation the harness shrinks the workload to a minimal
+// failing trace (ddmin over the request set) and writes a self-contained
+// repro file replayable via
+//
+//	go test ./internal/conformance -run TestConformanceReplay -repro=<file>
+package conformance
+
+import (
+	"fmt"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/dataset"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/sim"
+	"batchmaker/internal/tensor"
+)
+
+// Model is the fixed small real-cell fixture shared by the live engine and
+// the sequential oracle. Weights are derived deterministically from one
+// seed, so a repro file plus the model seed fully determines every tensor
+// in a run.
+type Model struct {
+	Seed   uint64
+	Hidden int
+	Embed  int
+	Vocab  int
+
+	LSTM     *rnn.LSTMCell
+	Enc      *rnn.EncoderCell
+	Dec      *rnn.DecoderCell
+	Leaf     *rnn.TreeLeafCell
+	Internal *rnn.TreeInternalCell
+}
+
+// firstWordID is the smallest word id the workload generator emits, leaving
+// the reserved seq2seq symbols (<go>, <eos>) untouched.
+const firstWordID = 2
+
+// NewModel builds the five-cell fixture (LSTM chain, seq2seq encoder +
+// decoder, TreeLSTM leaf + internal) with deterministic weights.
+func NewModel(seed uint64) *Model {
+	const (
+		hidden = 10
+		embed  = 6
+		vocab  = 32
+	)
+	rng := tensor.NewRNG(seed)
+	return &Model{
+		Seed:     seed,
+		Hidden:   hidden,
+		Embed:    embed,
+		Vocab:    vocab,
+		LSTM:     rnn.NewLSTMCell("conf-lstm", embed, hidden, rng),
+		Enc:      rnn.NewEncoderCell("conf-enc", vocab, embed, hidden, rng),
+		Dec:      rnn.NewDecoderCell("conf-dec", vocab, embed, hidden, rng),
+		Leaf:     rnn.NewTreeLeafCell("conf-leaf", vocab, embed, hidden, rng),
+		Internal: rnn.NewTreeInternalCell("conf-internal", hidden, rng),
+	}
+}
+
+// BuildGraph unfolds one workload request into a real cell graph. Inputs
+// (chain rows, sentence word ids) are derived from the request's InputSeed,
+// so the same Request always yields bit-identical graphs.
+func (m *Model) BuildGraph(r *Request) (*cellgraph.Graph, error) {
+	switch r.Shape.Kind {
+	case sim.KindChain:
+		xs := tensor.RandUniform(tensor.NewRNG(r.InputSeed), 1, r.Shape.Len, m.Embed)
+		return cellgraph.UnfoldChain(m.LSTM, xs)
+	case sim.KindSeq2Seq:
+		words := dataset.NewWordSampler(r.InputSeed, firstWordID, m.Vocab)
+		return cellgraph.UnfoldSeq2Seq(m.Enc, m.Dec, words.Sentence(r.Shape.SrcLen), r.Shape.DstLen)
+	case sim.KindTree:
+		return cellgraph.UnfoldTree(m.Leaf, m.Internal, r.Shape.Tree)
+	}
+	return nil, fmt.Errorf("conformance: unknown request kind %d", r.Shape.Kind)
+}
+
+// Oracle executes every request of the workload sequentially (batch size 1)
+// and returns per-request ground-truth outputs, keyed by workload index.
+// Cellular batching must reproduce these bit-for-bit for every request it
+// completes.
+func Oracle(m *Model, w *Workload) (map[int]map[string]*tensor.Tensor, error) {
+	out := make(map[int]map[string]*tensor.Tensor, len(w.Reqs))
+	for _, r := range w.Reqs {
+		g, err := m.BuildGraph(r)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: request %d: %w", r.Index, err)
+		}
+		res, err := cellgraph.ExecuteSequential(g)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: oracle for request %d: %w", r.Index, err)
+		}
+		out[r.Index] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// maxShrinkRuns bounds how many candidate workloads Shrink may evaluate —
+// each evaluation is a full live run, so the budget keeps shrinking fast
+// even for large workloads. The result is still failing, just possibly not
+// 1-minimal when the budget is hit.
+const maxShrinkRuns = 160
+
+// Shrink reduces a failing workload to a small one that still fails, using
+// ddmin over the request list: repeatedly try dropping chunks (halves, then
+// quarters, …, then single requests) and keep any reduction that preserves
+// the failure. fails must report whether a candidate workload still triggers
+// the violation; it is called up to maxShrinkRuns times. The input workload
+// must itself fail (fails(w) == true) for the result to be meaningful.
+func Shrink(w *Workload, fails func(*Workload) bool) *Workload {
+	cur := w
+	runs := 0
+	try := func(c *Workload) bool {
+		if runs >= maxShrinkRuns {
+			return false
+		}
+		runs++
+		return fails(c)
+	}
+	n := 2
+	for len(cur.Reqs) >= 2 && runs < maxShrinkRuns {
+		chunk := (len(cur.Reqs) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur.Reqs); start += chunk {
+			end := start + chunk
+			if end > len(cur.Reqs) {
+				end = len(cur.Reqs)
+			}
+			// Candidate: everything except [start, end).
+			keep := make([]int, 0, len(cur.Reqs)-(end-start))
+			for i := 0; i < len(cur.Reqs); i++ {
+				if i < start || i >= end {
+					keep = append(keep, i)
+				}
+			}
+			if len(keep) == 0 {
+				continue
+			}
+			c := cur.Subset(keep)
+			if try(c) {
+				cur = c
+				n = max2(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if chunk <= 1 {
+				break
+			}
+			n = min2(2*n, len(cur.Reqs))
+		}
+	}
+	return cur
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Repro is a self-contained failing-workload file: the model seed plus the
+// materialized requests fully determine every tensor and every schedule
+// decision of a replay, so no generator state needs to survive.
+type Repro struct {
+	// ModelSeed rebuilds the cell weights.
+	ModelSeed uint64 `json:"model_seed"`
+	// Seed and Cfg record where the workload came from (bookkeeping only —
+	// Reqs is authoritative).
+	Seed uint64    `json:"seed"`
+	Cfg  GenConfig `json:"cfg"`
+	// Reqs is the shrunk request list.
+	Reqs []*Request `json:"reqs"`
+	// Violations snapshots what the original run reported.
+	Violations []string `json:"violations"`
+}
+
+// WriteRepro saves a shrunk failing workload for later replay with
+//
+//	go test ./internal/conformance -run TestConformanceReplay -repro=<path>
+func WriteRepro(path string, m *Model, w *Workload, vs []Violation) error {
+	r := Repro{ModelSeed: m.Seed, Seed: w.Seed, Cfg: w.Cfg, Reqs: w.Reqs}
+	for _, v := range vs {
+		r.Violations = append(r.Violations, v.String())
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("conformance: marshal repro: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro file back into a model and workload.
+func LoadRepro(path string) (*Model, *Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("conformance: read repro: %w", err)
+	}
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, nil, fmt.Errorf("conformance: parse repro %s: %w", path, err)
+	}
+	if len(r.Reqs) == 0 {
+		return nil, nil, fmt.Errorf("conformance: repro %s has no requests", path)
+	}
+	m := NewModel(r.ModelSeed)
+	w := &Workload{Seed: r.Seed, Cfg: r.Cfg, Reqs: r.Reqs}
+	return m, w, nil
+}

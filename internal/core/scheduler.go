@@ -69,6 +69,23 @@ type Config struct {
 	// a worker (default 5, §4.3): small enough that other cell types get a
 	// chance and new requests can join, large enough to keep the GPU busy.
 	MaxTasksToSubmit int
+	// Chaos injects deliberate scheduler defects. Production configs leave
+	// it zero; only the conformance harness's self-test sets it.
+	Chaos Chaos
+}
+
+// Chaos enumerates deliberate, narrowly scoped scheduler defects. The
+// conformance harness (internal/conformance) enables one at a time to prove
+// its invariant checker detects real scheduler bugs, not just synthetic
+// assertion failures. The zero value injects nothing.
+type Chaos struct {
+	// DropCancelPurge makes CancelRequest skip purging idle subgraphs from
+	// the bookkeeping: their ready nodes are removed but subgraphs with no
+	// in-flight task are left registered in the live set and the type
+	// queue forever. A cancelled request then leaks scheduler state — the
+	// class of bug the conformance conservation invariant
+	// (LiveSubgraphs == 0 after drain) exists to catch.
+	DropCancelPurge bool
 }
 
 // SubgraphSpec describes a subgraph being handed to the scheduler: a set of
@@ -274,6 +291,11 @@ func (s *Scheduler) CancelRequest(req RequestID) int {
 		sg.ready = nil
 		sg.unissued = 0
 		if sg.inflight == 0 {
+			if s.cfg.Chaos.DropCancelPurge {
+				// Injected defect: leak the idle subgraph instead of
+				// retiring it (see Chaos).
+				continue
+			}
 			// Nothing running references this subgraph: retire it now.
 			delete(s.liveByID, sg.id)
 			touched[sg.typeKey] = true

@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failingReader yields some valid prefix, then an I/O error — a truncated
+// download or disk fault mid-file.
+type failingReader struct {
+	data string
+	err  error
+	read bool
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if !r.read {
+		r.read = true
+		return copy(p, r.data), nil
+	}
+	return 0, r.err
+}
+
+func TestReadLengthsGarbageInput(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"binary garbage", "\x00\xfe\xffgarbage"},
+		{"valid then garbage", "5\n12\nxyz\n"},
+		{"negative length", "-3\n"},
+		{"float length", "3.5\n"},
+		{"overflow", "99999999999999999999999999\n"},
+		{"comments only", "# a\n\n# b\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadLengths(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ReadLengths accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadLengthsTruncatedStream(t *testing.T) {
+	ioErr := errors.New("connection reset")
+	_, err := ReadLengths(&failingReader{data: "5\n7\n", err: ioErr})
+	if err == nil {
+		t.Fatal("ReadLengths ignored the stream error")
+	}
+	if !errors.Is(err, ioErr) {
+		t.Fatalf("error %v does not wrap the stream error", err)
+	}
+}
+
+func TestReadLengthsErrorMentionsLine(t *testing.T) {
+	_, err := ReadLengths(strings.NewReader("4\n8\nbogus\n"))
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name the offending line", err)
+	}
+}

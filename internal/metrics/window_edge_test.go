@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowSingleSample(t *testing.T) {
+	w := NewWindow(8)
+	w.Add(42 * time.Millisecond)
+	// Every percentile of a one-sample window is that sample, including
+	// the tiny-p path where nearest-rank rounds down to rank 0 and must be
+	// clamped to 1.
+	for _, p := range []float64{0.001, 1, 50, 99, 100} {
+		if got := w.Percentile(p); got != 42*time.Millisecond {
+			t.Fatalf("P%v = %v, want 42ms", p, got)
+		}
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", w.Count())
+	}
+}
+
+func TestWindowExactCapacityWraparound(t *testing.T) {
+	// Fill to exactly capacity: the ring's write cursor is back at slot 0,
+	// and percentiles must still see all four retained samples.
+	w := NewWindow(4)
+	for i := 1; i <= 4; i++ {
+		w.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.Percentile(100); got != 4*time.Millisecond {
+		t.Fatalf("max = %v, want 4ms", got)
+	}
+	if got := w.Percentile(25); got != 1*time.Millisecond {
+		t.Fatalf("P25 = %v, want 1ms", got)
+	}
+	// One more full lap: exactly capacity evictions, cursor again at 0.
+	for i := 5; i <= 8; i++ {
+		w.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.Percentile(25); got != 5*time.Millisecond {
+		t.Fatalf("P25 after wrap = %v, want 5ms (oldest lap not evicted)", got)
+	}
+	if got := w.Percentile(100); got != 8*time.Millisecond {
+		t.Fatalf("max after wrap = %v, want 8ms", got)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d, want total observed 8", w.Count())
+	}
+}
+
+func TestWindowPartialWraparound(t *testing.T) {
+	// 5 samples into capacity 3: retention is the last 3, mid-buffer cursor.
+	w := NewWindow(3)
+	for i := 1; i <= 5; i++ {
+		w.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.Percentile(1); got != 3*time.Millisecond {
+		t.Fatalf("min = %v, want 3ms", got)
+	}
+	if got := w.P50(); got != 4*time.Millisecond {
+		t.Fatalf("P50 = %v, want 4ms", got)
+	}
+}
+
+func TestWindowPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero capacity", func() { NewWindow(0) })
+	mustPanic("negative capacity", func() { NewWindow(-1) })
+	w := NewWindow(2)
+	w.Add(time.Millisecond)
+	mustPanic("p=0", func() { w.Percentile(0) })
+	mustPanic("p>100", func() { w.Percentile(100.5) })
+}

@@ -125,6 +125,9 @@ type Config struct {
 	// Faults, when non-nil, is consulted before every task execution
 	// attempt — the chaos hook used to test recovery paths.
 	Faults FaultInjector
+	// SchedulerChaos forwards deliberate scheduler defects to core.Config.
+	// Only the conformance harness's self-test sets it; see core.Chaos.
+	SchedulerChaos core.Chaos
 	// MaxRetries bounds retries of transient task errors (see
 	// TransientError). 0 means a default of 3; negative disables retry.
 	MaxRetries int
@@ -246,7 +249,7 @@ func New(cfg Config) (*Server, error) {
 			Priority: cs.Priority,
 		})
 	}
-	sched, err := core.NewScheduler(core.Config{Types: types, MaxTasksToSubmit: cfg.MaxTasksToSubmit})
+	sched, err := core.NewScheduler(core.Config{Types: types, MaxTasksToSubmit: cfg.MaxTasksToSubmit, Chaos: cfg.SchedulerChaos})
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +349,10 @@ type Handle struct {
 // Done is closed when the request resolves (results, error, cancellation,
 // expiry, or server stop).
 func (h *Handle) Done() <-chan struct{} { return h.req.done }
+
+// ID returns the request's server-assigned ID — the key under which its
+// lifecycle appears in trace events (see Trace).
+func (h *Handle) ID() core.RequestID { return h.req.id }
 
 // Result returns the request's outputs after Done is closed. Calling it
 // earlier returns an error.

@@ -74,6 +74,11 @@ type Event struct {
 	Worker  core.WorkerID
 	TypeKey string
 	Batch   int
+	// Nodes lists the (request, node) rows a task event actually executed —
+	// the skipped rows of dead requests are excluded, so Batch == len(Nodes)
+	// for task events. The conformance harness replays these to check
+	// per-request dependency order and exactly-once execution.
+	Nodes []core.NodeRef
 }
 
 // String renders the event compactly.

@@ -133,6 +133,13 @@ func (s *Server) execTask(id int, task *core.Task, bufs *gatherBufs) completion 
 	// cell.Step.
 	outs, stepErr := s.runStep(cell, task, inputs, len(refs))
 
+	var traceRefs []core.NodeRef
+	if s.trace != nil {
+		traceRefs = make([]core.NodeRef, len(refs))
+		for i, ref := range refs {
+			traceRefs[i] = core.NodeRef{Req: ref.req.id, Node: ref.node}
+		}
+	}
 	s.statsMu.Lock()
 	s.tasksRun++
 	s.cellsRun += len(refs)
@@ -142,6 +149,7 @@ func (s *Server) execTask(id int, task *core.Task, bufs *gatherBufs) completion 
 	s.trace.add(Event{
 		At: time.Now(), Kind: EventTaskExec,
 		Worker: task.Worker, TypeKey: task.TypeKey, Batch: len(refs),
+		Nodes: traceRefs,
 	})
 	s.statsMu.Unlock()
 
