@@ -31,7 +31,11 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sync"
+	"syscall"
 	"time"
 
 	"batchmaker/internal/cellgraph"
@@ -197,14 +201,33 @@ func main() {
 		maxQueue = flag.Int("max-queue", 0, "max concurrently admitted requests; excess is shed with code \"overloaded\" (0 = unlimited)")
 		deadline = flag.Duration("deadline", 0, "per-request SLA; expired requests stop batching and answer code \"expired\" (0 = none)")
 		demo     = flag.Bool("demo", false, "drive the server with a built-in client and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at exit; in serve mode, send SIGINT/SIGTERM)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	a, err := newApp(*vocab, *embed, *hidden, *workers, *maxQueue, *deadline)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer a.srv.Stop()
+	// Registered after srv.Stop so the heap profile is taken while the
+	// server (arenas, pools, live maps) is still alive.
+	defer writeMemProfile(*memProf)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -224,7 +247,14 @@ func main() {
 	}()
 
 	if !*demo {
-		select {} // serve forever
+		// Serve until interrupted. Waiting on a signal (rather than blocking
+		// forever) lets the deferred profile writers and server shutdown run,
+		// so -cpuprofile/-memprofile produce complete files in serve mode.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("signal received; shutting down")
+		return
 	}
 
 	if err := runDemoClient(ln.Addr().String(), *vocab); err != nil {
@@ -246,6 +276,26 @@ func main() {
 	}
 	fmt.Printf("dispatch: %d rounds, p50 %v, p99 %v\n",
 		st.DispatchRounds, st.DispatchP50, st.DispatchP99)
+	fmt.Printf("hot path: %v/cell, %.1f process allocs/task\n",
+		st.NsPerCell, st.ProcessAllocsPerTask)
+}
+
+// writeMemProfile captures a heap profile after a forced GC, so the profile
+// reflects live steady-state memory (arenas, pools) rather than garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("memprofile: %v", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Printf("memprofile: %v", err)
+	}
 }
 
 // runDemoClient fires concurrent translation requests at the server.

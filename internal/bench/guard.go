@@ -6,18 +6,40 @@ import (
 	"os"
 )
 
-// GuardReport is the slice of BENCH_server.json the regression guard reads:
-// the recorded throughput of the two engines. Extra keys in the file are
-// ignored so the guard survives report-format growth.
+// GuardEngine is one engine's measurement inside a guard config. Extra keys
+// in the file are ignored so the guard survives report-format growth.
+type GuardEngine struct {
+	ReqPerSec     float64 `json:"requests_per_sec"`
+	AllocsPerCell float64 `json:"allocs_per_cell"`
+}
+
+// GuardConfig is one (GOMAXPROCS) configuration's recorded comparison.
+type GuardConfig struct {
+	Label            string      `json:"label"`
+	GoMaxProcs       int         `json:"gomaxprocs"`
+	GlobalLock       GuardEngine `json:"global_lock"`
+	Pipelined        GuardEngine `json:"pipelined"`
+	SpeedupReqPerSec float64     `json:"speedup_req_per_sec"`
+}
+
+// Speedup returns pipelined over global-lock request throughput.
+func (c *GuardConfig) Speedup() float64 {
+	return c.Pipelined.ReqPerSec / c.GlobalLock.ReqPerSec
+}
+
+// GuardReport is the slice of BENCH_server.json the regression guard reads.
+// Current reports carry one entry per GOMAXPROCS configuration under
+// "configs"; reports from before the multi-config schema carried a single
+// flat comparison, which ReadGuardReport lifts into a one-entry Configs
+// list so both generations pass through the same checks.
 type GuardReport struct {
-	Benchmark  string `json:"benchmark"`
-	GlobalLock struct {
-		ReqPerSec float64 `json:"requests_per_sec"`
-	} `json:"global_lock"`
-	Pipelined struct {
-		ReqPerSec float64 `json:"requests_per_sec"`
-	} `json:"pipelined"`
-	SpeedupReqPerSec float64 `json:"speedup_req_per_sec"`
+	Benchmark string        `json:"benchmark"`
+	Configs   []GuardConfig `json:"configs"`
+
+	// Legacy single-config fields.
+	GlobalLock       GuardEngine `json:"global_lock"`
+	Pipelined        GuardEngine `json:"pipelined"`
+	SpeedupReqPerSec float64     `json:"speedup_req_per_sec"`
 }
 
 // ReadGuardReport loads and sanity-checks a recorded benchmark file.
@@ -30,34 +52,79 @@ func ReadGuardReport(path string) (*GuardReport, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
 	}
-	if r.GlobalLock.ReqPerSec <= 0 || r.Pipelined.ReqPerSec <= 0 {
-		return nil, fmt.Errorf("bench: %s records non-positive throughput (global_lock=%.1f pipelined=%.1f)",
-			path, r.GlobalLock.ReqPerSec, r.Pipelined.ReqPerSec)
+	if len(r.Configs) == 0 {
+		r.Configs = []GuardConfig{{
+			Label:            "legacy",
+			GlobalLock:       r.GlobalLock,
+			Pipelined:        r.Pipelined,
+			SpeedupReqPerSec: r.SpeedupReqPerSec,
+		}}
+	}
+	for i := range r.Configs {
+		c := &r.Configs[i]
+		if c.GlobalLock.ReqPerSec <= 0 || c.Pipelined.ReqPerSec <= 0 {
+			return nil, fmt.Errorf("bench: %s config %q records non-positive throughput (global_lock=%.1f pipelined=%.1f)",
+				path, c.Label, c.GlobalLock.ReqPerSec, c.Pipelined.ReqPerSec)
+		}
+		if c.Pipelined.AllocsPerCell < 0 || c.GlobalLock.AllocsPerCell < 0 {
+			return nil, fmt.Errorf("bench: %s config %q records negative allocs/cell", path, c.Label)
+		}
 	}
 	return &r, nil
 }
 
-// Speedup returns pipelined over global-lock request throughput.
+// Speedup returns the worst pipelined-over-global-lock throughput ratio
+// across the recorded configurations.
 func (r *GuardReport) Speedup() float64 {
-	return r.Pipelined.ReqPerSec / r.GlobalLock.ReqPerSec
+	worst := r.Configs[0].Speedup()
+	for _, c := range r.Configs[1:] {
+		if s := c.Speedup(); s < worst {
+			worst = s
+		}
+	}
+	return worst
 }
 
-// CheckSpeedup fails when the recorded pipelined engine is slower than the
-// recorded global-lock baseline by more than minRatio allows. CI runs it
-// with minRatio 1.0: the pipeline must never regress below the baseline it
-// exists to beat. It also cross-checks the file's own speedup figure so a
-// hand-edited report cannot disagree with its inputs.
+// CheckSpeedup fails when any recorded configuration shows the pipelined
+// engine slower than the global-lock baseline by more than minRatio allows.
+// CI runs it with minRatio 1.0: the pipeline must never regress below the
+// baseline it exists to beat. Each config's own speedup figure is
+// cross-checked so a hand-edited report cannot disagree with its inputs.
 func (r *GuardReport) CheckSpeedup(minRatio float64) error {
-	s := r.Speedup()
-	if s < minRatio {
-		return fmt.Errorf("bench: pipelined %.1f req/s is %.3fx the global-lock baseline %.1f req/s (minimum %.2fx)",
-			r.Pipelined.ReqPerSec, s, r.GlobalLock.ReqPerSec, minRatio)
+	for i := range r.Configs {
+		c := &r.Configs[i]
+		s := c.Speedup()
+		if s < minRatio {
+			return fmt.Errorf("bench: config %q: pipelined %.1f req/s is %.3fx the global-lock baseline %.1f req/s (minimum %.2fx)",
+				c.Label, c.Pipelined.ReqPerSec, s, c.GlobalLock.ReqPerSec, minRatio)
+		}
+		if c.SpeedupReqPerSec != 0 {
+			const tol = 1e-6
+			if d := s - c.SpeedupReqPerSec; d > tol || d < -tol {
+				return fmt.Errorf("bench: config %q: recorded speedup %.6f disagrees with throughputs (%.6f) — stale or edited report",
+					c.Label, c.SpeedupReqPerSec, s)
+			}
+		}
 	}
-	if r.SpeedupReqPerSec != 0 {
-		const tol = 1e-6
-		if d := s - r.SpeedupReqPerSec; d > tol || d < -tol {
-			return fmt.Errorf("bench: recorded speedup %.6f disagrees with throughputs (%.6f) — stale or edited report",
-				r.SpeedupReqPerSec, s)
+	return nil
+}
+
+// CheckAllocs fails when any recorded configuration's pipelined engine
+// allocates more than maxPerCell heap objects per executed cell. The figure
+// is process-wide (it includes admission and client work), so the budget is
+// an end-to-end ceiling: once the worker loop is allocation-free, exceeding
+// it means allocations crept back into the serving path. Configs recorded
+// before allocation tracking (allocs_per_cell absent or zero) are skipped,
+// keeping the guard usable against legacy reports.
+func (r *GuardReport) CheckAllocs(maxPerCell float64) error {
+	for i := range r.Configs {
+		c := &r.Configs[i]
+		if c.Pipelined.AllocsPerCell == 0 {
+			continue
+		}
+		if c.Pipelined.AllocsPerCell > maxPerCell {
+			return fmt.Errorf("bench: config %q: pipelined engine allocates %.1f objects/cell (budget %.1f) — the zero-allocation hot path has regressed",
+				c.Label, c.Pipelined.AllocsPerCell, maxPerCell)
 		}
 	}
 	return nil

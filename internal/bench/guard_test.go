@@ -7,8 +7,17 @@ import (
 	"testing"
 )
 
+// ciAllocBudget bounds the recorded pipelined engine's end-to-end heap
+// allocations per executed cell. Measured steady state is ~38 (all of it
+// admission, scheduling and client-side work — the worker loop itself is
+// allocation-free, see TestWorkerExecLoopZeroAlloc); the budget leaves
+// headroom for machine noise while catching any per-cell allocation creep
+// back into the serving path.
+const ciAllocBudget = 60.0
+
 // TestBenchGuard is the CI regression gate: the checked-in BENCH_server.json
-// must show the pipelined engine at or above the global-lock baseline.
+// must show every recorded configuration's pipelined engine at or above the
+// global-lock baseline and inside the allocation budget.
 func TestBenchGuard(t *testing.T) {
 	path := filepath.Join("..", "..", "BENCH_server.json")
 	if _, err := os.Stat(path); os.IsNotExist(err) {
@@ -21,8 +30,13 @@ func TestBenchGuard(t *testing.T) {
 	if err := r.CheckSpeedup(1.0); err != nil {
 		t.Fatalf("throughput regression: %v", err)
 	}
-	t.Logf("pipelined %.0f req/s vs global-lock %.0f req/s (%.2fx)",
-		r.Pipelined.ReqPerSec, r.GlobalLock.ReqPerSec, r.Speedup())
+	if err := r.CheckAllocs(ciAllocBudget); err != nil {
+		t.Fatalf("allocation regression: %v", err)
+	}
+	for _, c := range r.Configs {
+		t.Logf("%s: pipelined %.0f req/s (%.1f allocs/cell) vs global-lock %.0f req/s (%.2fx)",
+			c.Label, c.Pipelined.ReqPerSec, c.Pipelined.AllocsPerCell, c.GlobalLock.ReqPerSec, c.Speedup())
+	}
 }
 
 func writeGuardFile(t *testing.T, content string) string {
@@ -65,6 +79,80 @@ func TestGuardDetectsInconsistentReport(t *testing.T) {
 	}
 	if err := r.CheckSpeedup(1.0); err == nil {
 		t.Fatal("guard accepted a report whose speedup disagrees with its throughputs")
+	}
+}
+
+func TestGuardDetectsAllocRegression(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"configs": [{
+			"label": "gomaxprocs-1",
+			"global_lock": {"requests_per_sec": 4000, "allocs_per_cell": 80},
+			"pipelined": {"requests_per_sec": 5000, "allocs_per_cell": 120}
+		}]
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckSpeedup(1.0); err != nil {
+		t.Fatalf("speedup check must pass here: %v", err)
+	}
+	err = r.CheckAllocs(60)
+	if err == nil {
+		t.Fatal("guard accepted 120 allocs/cell against a budget of 60")
+	}
+	if !strings.Contains(err.Error(), "120.0") || !strings.Contains(err.Error(), "gomaxprocs-1") {
+		t.Fatalf("error %q does not report the measured rate and config", err)
+	}
+}
+
+func TestGuardAllocsSkipsLegacyReports(t *testing.T) {
+	// A pre-allocation-tracking report (allocs_per_cell absent) must not
+	// trip the alloc gate: zero means unrecorded, not zero-cost.
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckAllocs(60); err != nil {
+		t.Fatalf("alloc gate fired on a legacy report: %v", err)
+	}
+}
+
+func TestGuardChecksEveryConfig(t *testing.T) {
+	// The serial config is healthy; the NumCPU config regressed. Both the
+	// speedup and alloc gates must look past the first entry.
+	path := writeGuardFile(t, `{
+		"configs": [
+			{
+				"label": "gomaxprocs-1",
+				"global_lock": {"requests_per_sec": 4000, "allocs_per_cell": 80},
+				"pipelined": {"requests_per_sec": 5000, "allocs_per_cell": 40}
+			},
+			{
+				"label": "gomaxprocs-numcpu",
+				"global_lock": {"requests_per_sec": 4000, "allocs_per_cell": 80},
+				"pipelined": {"requests_per_sec": 3000, "allocs_per_cell": 90}
+			}
+		]
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.CheckSpeedup(1.0)
+	if err == nil || !strings.Contains(err.Error(), "gomaxprocs-numcpu") {
+		t.Fatalf("speedup gate missed the second config: %v", err)
+	}
+	err = r.CheckAllocs(60)
+	if err == nil || !strings.Contains(err.Error(), "gomaxprocs-numcpu") {
+		t.Fatalf("alloc gate missed the second config: %v", err)
+	}
+	if s := r.Speedup(); s != 0.75 {
+		t.Fatalf("Speedup() = %v, want the worst config's 0.75", s)
 	}
 }
 

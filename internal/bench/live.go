@@ -14,6 +14,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -76,6 +77,11 @@ type LiveResult struct {
 	CellPerSec float64       `json:"cells_per_sec"`
 	P50        time.Duration `json:"latency_p50_ns"`
 	P99        time.Duration `json:"latency_p99_ns"`
+	// AllocsPerCell is the process-wide heap allocation count during the
+	// timed region divided by cells executed — admission and client-side
+	// work included, so it is an end-to-end ceiling on the serving path's
+	// allocation rate.
+	AllocsPerCell float64 `json:"allocs_per_cell"`
 }
 
 // liveWorkload is a fixed mix of LSTM chains, shared by both engines so
@@ -123,6 +129,8 @@ func drive(o LiveOptions, w *liveWorkload, name string, submit submitFunc) (Live
 	var recMu sync.Mutex
 	var wg sync.WaitGroup
 	errs := make([]error, o.Clients)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for c := 0; c < o.Clients; c++ {
 		wg.Add(1)
@@ -143,6 +151,7 @@ func drive(o LiveOptions, w *liveWorkload, name string, submit submitFunc) (Live
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 	for _, err := range errs {
 		if err != nil {
 			return LiveResult{}, err
@@ -150,14 +159,15 @@ func drive(o LiveOptions, w *liveWorkload, name string, submit submitFunc) (Live
 	}
 	n := o.Clients * o.RequestsPerClient
 	return LiveResult{
-		Engine:     name,
-		Requests:   n,
-		Cells:      w.cells,
-		Elapsed:    elapsed,
-		ReqPerSec:  float64(n) / elapsed.Seconds(),
-		CellPerSec: float64(w.cells) / elapsed.Seconds(),
-		P50:        rec.P50(),
-		P99:        rec.P99(),
+		Engine:        name,
+		Requests:      n,
+		Cells:         w.cells,
+		Elapsed:       elapsed,
+		ReqPerSec:     float64(n) / elapsed.Seconds(),
+		CellPerSec:    float64(w.cells) / elapsed.Seconds(),
+		P50:           rec.P50(),
+		P99:           rec.P99(),
+		AllocsPerCell: float64(m1.Mallocs-m0.Mallocs) / float64(w.cells),
 	}, nil
 }
 
@@ -378,9 +388,9 @@ func (e *lockEngine) resolve(r *lockRequest) {
 // recorded in BENCH_server.json.
 func FormatLiveComparison(pipelined, lock LiveResult) string {
 	return fmt.Sprintf(
-		"%s: %.0f req/s %.0f cells/s p50=%v p99=%v\n%s: %.0f req/s %.0f cells/s p50=%v p99=%v\nspeedup: %.2fx cells/s",
-		pipelined.Engine, pipelined.ReqPerSec, pipelined.CellPerSec, pipelined.P50, pipelined.P99,
-		lock.Engine, lock.ReqPerSec, lock.CellPerSec, lock.P50, lock.P99,
+		"%s: %.0f req/s %.0f cells/s p50=%v p99=%v %.1f allocs/cell\n%s: %.0f req/s %.0f cells/s p50=%v p99=%v %.1f allocs/cell\nspeedup: %.2fx cells/s",
+		pipelined.Engine, pipelined.ReqPerSec, pipelined.CellPerSec, pipelined.P50, pipelined.P99, pipelined.AllocsPerCell,
+		lock.Engine, lock.ReqPerSec, lock.CellPerSec, lock.P50, lock.P99, lock.AllocsPerCell,
 		pipelined.CellPerSec/lock.CellPerSec,
 	)
 }

@@ -62,18 +62,12 @@ func BenchmarkLiveServerGlobalLock(b *testing.B) {
 	}
 }
 
-// TestRecordLiveBench regenerates BENCH_server.json at the repo root. It
-// runs the two engines as interleaved pairs (alternating which goes first)
-// and records the median per-pair throughput ratio: pairing makes each
-// ratio immune to slow machine-state drift that independent
-// median-per-engine blocks would absorb into the comparison. It only runs
-// when BENCH_RECORD=1 (see README "Benchmarks").
-func TestRecordLiveBench(t *testing.T) {
-	if os.Getenv("BENCH_RECORD") != "1" {
-		t.Skip("set BENCH_RECORD=1 to rewrite BENCH_server.json")
-	}
-	o := LiveOptions{Workers: 4, Clients: 24, RequestsPerClient: 40}.withDefaults()
-	const pairs = 7
+// recordPairs runs the two engines as interleaved pairs (alternating which
+// goes first) and returns the median pair by throughput ratio: pairing makes
+// each ratio immune to slow machine-state drift that independent
+// median-per-engine blocks would absorb into the comparison.
+func recordPairs(t *testing.T, o LiveOptions, pairs int) (p, l LiveResult, ratio float64) {
+	t.Helper()
 	type pair struct {
 		p, l  LiveResult
 		ratio float64
@@ -102,17 +96,52 @@ func TestRecordLiveBench(t *testing.T) {
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].ratio < ps[j].ratio })
 	med := ps[pairs/2]
-	p, l := med.p, med.l
+	return med.p, med.l, med.ratio
+}
+
+// TestRecordLiveBench regenerates BENCH_server.json at the repo root with
+// one config entry per GOMAXPROCS setting: serial (1) and NumCPU. On a
+// single-CPU machine the two entries are independent runs of the same
+// setting — recorded as measured, not synthesized. It only runs when
+// BENCH_RECORD=1 (see README "Benchmarks").
+func TestRecordLiveBench(t *testing.T) {
+	if os.Getenv("BENCH_RECORD") != "1" {
+		t.Skip("set BENCH_RECORD=1 to rewrite BENCH_server.json")
+	}
+	o := LiveOptions{Workers: 4, Clients: 24, RequestsPerClient: 40}.withDefaults()
+	const pairs = 7
+	settings := []struct {
+		label string
+		procs int
+	}{
+		{"gomaxprocs-1", 1},
+		{"gomaxprocs-numcpu", runtime.NumCPU()},
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var configs []map[string]any
+	for _, set := range settings {
+		runtime.GOMAXPROCS(set.procs)
+		t.Logf("=== %s (GOMAXPROCS=%d) ===", set.label, set.procs)
+		p, l, ratio := recordPairs(t, o, pairs)
+		configs = append(configs, map[string]any{
+			"label":               set.label,
+			"gomaxprocs":          set.procs,
+			"pipelined":           p,
+			"global_lock":         l,
+			"speedup_req_per_sec": ratio,
+		})
+		t.Logf("\n%s", FormatLiveComparison(p, l))
+	}
+	runtime.GOMAXPROCS(prev)
 	out := map[string]any{
-		"benchmark":           "live-server-throughput",
-		"recorded":            time.Now().UTC().Format("2006-01-02"),
-		"go":                  runtime.Version(),
-		"gomaxprocs":          runtime.GOMAXPROCS(0),
-		"pairs":               pairs,
-		"options":             o,
-		"pipelined":           p,
-		"global_lock":         l,
-		"speedup_req_per_sec": med.ratio,
+		"benchmark": "live-server-throughput",
+		"recorded":  time.Now().UTC().Format("2006-01-02"),
+		"go":        runtime.Version(),
+		"numcpu":    runtime.NumCPU(),
+		"pairs":     pairs,
+		"options":   o,
+		"configs":   configs,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -121,5 +150,4 @@ func TestRecordLiveBench(t *testing.T) {
 	if err := os.WriteFile("../../BENCH_server.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("\n%s", FormatLiveComparison(p, l))
 }

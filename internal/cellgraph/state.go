@@ -23,6 +23,11 @@ type State struct {
 	done       []bool
 	ready      []NodeID
 	remained   int
+	// prealloc holds per-node output rows carved from one slab at admission
+	// time (see PreallocOutputs); nil per node when output widths are
+	// unknown. Workers write results straight into these rows, so the
+	// execution hot path allocates nothing.
+	prealloc []map[string]*tensor.Tensor
 }
 
 // NewState validates g and returns fresh execution state with all
@@ -38,7 +43,10 @@ func NewState(g *Graph) (*State, error) {
 		dependents: make([][]NodeID, len(g.Nodes)),
 		issued:     make([]bool, len(g.Nodes)),
 		done:       make([]bool, len(g.Nodes)),
-		remained:   len(g.Nodes),
+		// Every node enters ready exactly once, so full capacity up front
+		// keeps completions append-free (the worker hot path relies on it).
+		ready:    make([]NodeID, 0, len(g.Nodes)),
+		remained: len(g.Nodes),
 	}
 	for _, n := range g.Nodes {
 		deps := n.Deps()
@@ -130,6 +138,102 @@ func (s *State) Complete(id NodeID, outputs map[string]*tensor.Tensor) []NodeID 
 		}
 	}
 	return newlyReady
+}
+
+// PreallocOutputs carves a [1, w] output row for every output of every node
+// whose widths widthsOf knows, all from one backing slab. It runs on the
+// admission path (the caller's goroutine), moving the scatter-side
+// allocations out of the worker hot loop: a worker fills the rows in place
+// and calls CompletePrealloc instead of allocating fresh row tensors.
+//
+// widthsOf returns the output name → row width map for a node's cell, or
+// nil when unknown; nodes with nil (or incomplete) widths keep the
+// allocating Complete path. Calling PreallocOutputs more than once, or
+// after execution has begun, is a programming error.
+func (s *State) PreallocOutputs(widthsOf func(id NodeID) map[string]int) {
+	if s.prealloc != nil {
+		panic("cellgraph: PreallocOutputs called twice")
+	}
+	perNode := make([]map[string]int, len(s.g.Nodes))
+	total := 0
+	for _, n := range s.g.Nodes {
+		widths := widthsOf(n.ID)
+		if widths == nil {
+			continue
+		}
+		sum, ok := 0, true
+		for _, name := range n.Cell.OutputNames() {
+			w, has := widths[name]
+			if !has || w <= 0 {
+				ok = false
+				break
+			}
+			sum += w
+		}
+		if !ok {
+			continue
+		}
+		perNode[n.ID] = widths
+		total += sum
+	}
+	if total == 0 {
+		return
+	}
+	slab := make([]float32, total)
+	s.prealloc = make([]map[string]*tensor.Tensor, len(s.g.Nodes))
+	off := 0
+	for _, n := range s.g.Nodes {
+		widths := perNode[n.ID]
+		if widths == nil {
+			continue
+		}
+		m := make(map[string]*tensor.Tensor, len(widths))
+		for _, name := range n.Cell.OutputNames() {
+			w := widths[name]
+			m[name] = tensor.FromSlice(slab[off:off+w:off+w], 1, w)
+			off += w
+		}
+		s.prealloc[n.ID] = m
+	}
+}
+
+// Preallocated reports whether node id's outputs were preallocated.
+func (s *State) Preallocated(id NodeID) bool {
+	return s.prealloc != nil && s.prealloc[id] != nil
+}
+
+// OutputRow returns node id's preallocated row for one output, or nil when
+// the node was not preallocated. The worker fills it in place before
+// calling CompletePrealloc.
+func (s *State) OutputRow(id NodeID, name string) *tensor.Tensor {
+	if s.prealloc == nil || s.prealloc[id] == nil {
+		return nil
+	}
+	return s.prealloc[id][name]
+}
+
+// CompletePrealloc marks a preallocated node complete — its rows must have
+// been filled via OutputRow. It is Complete without any allocation: no
+// outputs map, no newly-ready result slice (workers discard it; the
+// request processor tracks releases through its own tracker), and no
+// output-name coverage check (PreallocOutputs already carved every output).
+func (s *State) CompletePrealloc(id NodeID) {
+	if s.prealloc == nil || s.prealloc[id] == nil {
+		panic(fmt.Sprintf("cellgraph: CompletePrealloc on non-preallocated node %d", id))
+	}
+	if s.done[id] {
+		panic(fmt.Sprintf("cellgraph: node %d completed twice", id))
+	}
+	s.done[id] = true
+	s.issued[id] = false
+	s.outputs[id] = s.prealloc[id]
+	s.remained--
+	for _, dep := range s.dependents[id] {
+		s.pending[dep]--
+		if s.pending[dep] == 0 {
+			s.ready = append(s.ready, dep)
+		}
+	}
 }
 
 // Finished reports whether every node has completed.

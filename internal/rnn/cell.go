@@ -43,6 +43,73 @@ type DefExporter interface {
 	Weights() graph.Weights
 }
 
+// IntoStepper is the allocation-free fast path every built-in cell
+// implements. StepInto executes one batched invocation exactly like Step,
+// but writes each output into the caller-provided out[name] buffer (rank-2,
+// [b, width]) and draws every intermediate from the arena, so a caller that
+// reuses its buffers and arena performs zero heap allocations per step.
+//
+// Contract: out buffers must not alias any input; each is fully
+// overwritten. A nil arena is allowed (intermediates fall back to fresh
+// allocations — this is how the allocating Step wrappers are implemented),
+// so Step and StepInto share one code path and their results are
+// bit-identical by construction.
+type IntoStepper interface {
+	Cell
+	StepInto(inputs, out map[string]*tensor.Tensor, a *tensor.Arena) error
+}
+
+// OutputSized is implemented by cells whose output row widths are known
+// statically. Callers (the server's admission path) use it to preallocate
+// per-request output rows so the execution hot path never allocates.
+type OutputSized interface {
+	// OutputWidths maps every OutputNames entry to its row width.
+	OutputWidths() map[string]int
+}
+
+// outBuf fetches and shape-checks one caller-provided output buffer.
+func outBuf(out map[string]*tensor.Tensor, cell, name string, b, w int) (*tensor.Tensor, error) {
+	t := out[name]
+	if t == nil || t.Rank() != 2 || t.Dim(0) != b || t.Dim(1) != w {
+		return nil, fmt.Errorf("rnn: %s: output %q needs a [%d, %d] buffer", cell, name, b, w)
+	}
+	return t, nil
+}
+
+// newOut allocates the output buffers of an OutputSized cell for batch b —
+// the bridge from the allocating Step interface to StepInto.
+func newOut(c interface {
+	Cell
+	OutputSized
+}, b int) map[string]*tensor.Tensor {
+	widths := c.OutputWidths()
+	out := make(map[string]*tensor.Tensor, len(widths))
+	for _, name := range c.OutputNames() {
+		out[name] = tensor.New(b, widths[name])
+	}
+	return out
+}
+
+// Every built-in cell implements both the fast path and static output
+// sizing, so the server can run them allocation-free end to end.
+var (
+	_ IntoStepper = (*LSTMCell)(nil)
+	_ IntoStepper = (*GRUCell)(nil)
+	_ IntoStepper = (*StackedLSTMCell)(nil)
+	_ IntoStepper = (*TreeLeafCell)(nil)
+	_ IntoStepper = (*TreeInternalCell)(nil)
+	_ IntoStepper = (*EncoderCell)(nil)
+	_ IntoStepper = (*DecoderCell)(nil)
+
+	_ OutputSized = (*LSTMCell)(nil)
+	_ OutputSized = (*GRUCell)(nil)
+	_ OutputSized = (*StackedLSTMCell)(nil)
+	_ OutputSized = (*TreeLeafCell)(nil)
+	_ OutputSized = (*TreeInternalCell)(nil)
+	_ OutputSized = (*EncoderCell)(nil)
+	_ OutputSized = (*DecoderCell)(nil)
+)
+
 func batchOf(inputs map[string]*tensor.Tensor, names []string) (int, error) {
 	b := -1
 	for _, n := range names {

@@ -63,23 +63,59 @@ func (c *GRUCell) OutputNames() []string { return []string{"h"} }
 // Hidden returns the hidden width.
 func (c *GRUCell) Hidden() int { return c.hidden }
 
-// Step implements Cell.
+// OutputWidths implements OutputSized.
+func (c *GRUCell) OutputWidths() map[string]int {
+	return map[string]int{"h": c.hidden}
+}
+
+// Step implements Cell as a thin allocating wrapper over StepInto.
 func (c *GRUCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	if _, err := batchOf(inputs, c.InputNames()); err != nil {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.name, err)
+	}
+	out := newOut(c, b)
+	if err := c.StepInto(inputs, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StepInto implements IntoStepper. The element order of every op matches
+// the allocating formulation (z, r, hc, then h + z*(hc-h)), so results are
+// unchanged; only the memory behaviour differs.
+func (c *GRUCell) StepInto(inputs, out map[string]*tensor.Tensor, a *tensor.Arena) error {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.name, err)
 	}
 	x, h := inputs["x"], inputs["h"]
 	if x.Dim(1) != c.inDim || h.Dim(1) != c.hidden {
-		return nil, fmt.Errorf("rnn: %s: bad input widths x=%v h=%v", c.name, x.Shape(), h.Shape())
+		return fmt.Errorf("rnn: %s: bad input widths x=%v h=%v", c.name, x.Shape(), h.Shape())
 	}
-	xh := tensor.ConcatCols(x, h)
-	z := tensor.Sigmoid(tensor.MatMulAddBias(xh, c.wz, c.bz))
-	r := tensor.Sigmoid(tensor.MatMulAddBias(xh, c.wr, c.br))
-	xrh := tensor.ConcatCols(x, tensor.Mul(r, h))
-	hc := tensor.Tanh(tensor.MatMulAddBias(xrh, c.wh, c.bh))
+	hNew, err := outBuf(out, c.name, "h", b, c.hidden)
+	if err != nil {
+		return err
+	}
+	xh := a.Get(b, c.inDim+c.hidden)
+	tensor.ConcatColsInto(xh, x, h)
+	z := a.Get(b, c.hidden)
+	tensor.MatMulAddBiasInto(z, xh, c.wz, c.bz)
+	tensor.SigmoidInto(z, z)
+	r := a.Get(b, c.hidden)
+	tensor.MatMulAddBiasInto(r, xh, c.wr, c.br)
+	tensor.SigmoidInto(r, r)
+	tensor.MulInto(r, r, h) // r*h; r is not needed past this point
+	xrh := a.Get(b, c.inDim+c.hidden)
+	tensor.ConcatColsInto(xrh, x, r)
+	hc := a.Get(b, c.hidden)
+	tensor.MatMulAddBiasInto(hc, xrh, c.wh, c.bh)
+	tensor.TanhInto(hc, hc)
 	// h' = h + z*(hc - h)
-	hNew := tensor.Add(h, tensor.Mul(z, tensor.Sub(hc, h)))
-	return map[string]*tensor.Tensor{"h": hNew}, nil
+	tensor.SubInto(hc, hc, h)
+	tensor.MulInto(hc, z, hc)
+	tensor.AddInto(hNew, h, hc)
+	return nil
 }
 
 // Def implements DefExporter.

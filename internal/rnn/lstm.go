@@ -65,40 +65,78 @@ func (c *LSTMCell) InDim() int { return c.inDim }
 // Hidden returns the hidden-state width.
 func (c *LSTMCell) Hidden() int { return c.hidden }
 
-// Step implements Cell with the fused fast path.
+// OutputWidths implements OutputSized.
+func (c *LSTMCell) OutputWidths() map[string]int {
+	return map[string]int{"h": c.hidden, "c": c.hidden}
+}
+
+// Step implements Cell as a thin allocating wrapper over StepInto.
 func (c *LSTMCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	b, err := batchOf(inputs, c.InputNames())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.name, err)
 	}
+	out := newOut(c, b)
+	if err := c.StepInto(inputs, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StepInto implements IntoStepper with the fused fast path: one [x,h]
+// concatenation, one bias-initialized gate matmul, and one flat-slice gate
+// sweep, all in caller/arena memory.
+func (c *LSTMCell) StepInto(inputs, out map[string]*tensor.Tensor, a *tensor.Arena) error {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.name, err)
+	}
 	x, h, cc := inputs["x"], inputs["h"], inputs["c"]
 	if x.Dim(1) != c.inDim || h.Dim(1) != c.hidden || cc.Dim(1) != c.hidden {
-		return nil, fmt.Errorf("rnn: %s: bad input widths x=%v h=%v c=%v", c.name, x.Shape(), h.Shape(), cc.Shape())
+		return fmt.Errorf("rnn: %s: bad input widths x=%v h=%v c=%v", c.name, x.Shape(), h.Shape(), cc.Shape())
 	}
-	xh := tensor.ConcatCols(x, h)
-	gates := tensor.MatMulAddBias(xh, c.w, c.bias)
-	hNew := tensor.New(b, c.hidden)
-	cNew := tensor.New(b, c.hidden)
-	applyLSTMGates(gates, cc, hNew, cNew, c.hidden)
-	return map[string]*tensor.Tensor{"h": hNew, "c": cNew}, nil
+	hOut, err := outBuf(out, c.name, "h", b, c.hidden)
+	if err != nil {
+		return err
+	}
+	cOut, err := outBuf(out, c.name, "c", b, c.hidden)
+	if err != nil {
+		return err
+	}
+	c.stepCore(x, h, cc, hOut, cOut, a)
+	return nil
+}
+
+// stepCore is the shared LSTM body: encoder, decoder and stacked cells call
+// it directly with their own buffers. Inputs are assumed shape-checked.
+func (c *LSTMCell) stepCore(x, h, cPrev, hOut, cOut *tensor.Tensor, a *tensor.Arena) {
+	b := x.Dim(0)
+	xh := a.Get(b, c.inDim+c.hidden)
+	tensor.ConcatColsInto(xh, x, h)
+	gates := a.Get(b, 4*c.hidden)
+	tensor.MatMulAddBiasInto(gates, xh, c.w, c.bias)
+	applyLSTMGates(gates, cPrev, hOut, cOut, c.hidden)
 }
 
 // applyLSTMGates consumes fused pre-activations [b, 4h] laid out as
-// [i | f | g | o] and writes the new hidden and cell states.
+// [i | f | g | o] and writes the new hidden and cell states, fused over the
+// flat backing slices (all operands are dense row-major, so row r of a
+// width-w tensor is data[r*w : (r+1)*w]).
 func applyLSTMGates(gates, cPrev, hNew, cNew *tensor.Tensor, hidden int) {
 	b := gates.Dim(0)
+	gd, cp, hn, cn := gates.Data(), cPrev.Data(), hNew.Data(), cNew.Data()
 	for r := 0; r < b; r++ {
-		g := gates.RowSlice(r)
-		cp := cPrev.RowSlice(r)
-		hn := hNew.RowSlice(r)
-		cn := cNew.RowSlice(r)
+		g := gd[r*4*hidden : (r+1)*4*hidden]
+		cpr := cp[r*hidden : (r+1)*hidden]
+		hnr := hn[r*hidden : (r+1)*hidden]
+		cnr := cn[r*hidden : (r+1)*hidden]
 		for j := 0; j < hidden; j++ {
 			i := sigmoid32(g[j])
 			f := sigmoid32(g[hidden+j])
 			gg := tanh32(g[2*hidden+j])
 			o := sigmoid32(g[3*hidden+j])
-			cn[j] = f*cp[j] + i*gg
-			hn[j] = o * tanh32(cn[j])
+			cnr[j] = f*cpr[j] + i*gg
+			hnr[j] = o * tanh32(cnr[j])
 		}
 	}
 }

@@ -61,16 +61,49 @@ func (c *EncoderCell) Hidden() int { return c.lstm.hidden }
 // Vocab returns the vocabulary size.
 func (c *EncoderCell) Vocab() int { return c.vocab }
 
-// Step implements Cell.
+// OutputWidths implements OutputSized.
+func (c *EncoderCell) OutputWidths() map[string]int {
+	return map[string]int{"h": c.lstm.hidden, "c": c.lstm.hidden}
+}
+
+// Step implements Cell as a thin allocating wrapper over StepInto.
 func (c *EncoderCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	if _, err := batchOf(inputs, c.InputNames()); err != nil {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.name, err)
 	}
-	x, err := embedLookup(c.embed, inputs["ids"], c.name)
-	if err != nil {
+	out := newOut(c, b)
+	if err := c.StepInto(inputs, out, nil); err != nil {
 		return nil, err
 	}
-	return c.lstm.Step(map[string]*tensor.Tensor{"x": x, "h": inputs["h"], "c": inputs["c"]})
+	return out, nil
+}
+
+// StepInto implements IntoStepper: the embedding row gather lands in arena
+// scratch and feeds the shared LSTM core.
+func (c *EncoderCell) StepInto(inputs, out map[string]*tensor.Tensor, a *tensor.Arena) error {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.name, err)
+	}
+	h, cc := inputs["h"], inputs["c"]
+	if h.Dim(1) != c.lstm.hidden || cc.Dim(1) != c.lstm.hidden {
+		return fmt.Errorf("rnn: %s: bad state widths h=%v c=%v", c.name, h.Shape(), cc.Shape())
+	}
+	hOut, err := outBuf(out, c.name, "h", b, c.lstm.hidden)
+	if err != nil {
+		return err
+	}
+	cOut, err := outBuf(out, c.name, "c", b, c.lstm.hidden)
+	if err != nil {
+		return err
+	}
+	x := a.Get(b, c.lstm.inDim)
+	if err := embedLookupInto(x, c.embed, inputs["ids"], c.name); err != nil {
+		return err
+	}
+	c.lstm.stepCore(x, h, cc, hOut, cOut, a)
+	return nil
 }
 
 // Def implements DefExporter.
@@ -156,26 +189,73 @@ func (c *DecoderCell) Hidden() int { return c.lstm.hidden }
 // Vocab returns the vocabulary size.
 func (c *DecoderCell) Vocab() int { return c.vocab }
 
-// Step implements Cell.
+// OutputWidths implements OutputSized.
+func (c *DecoderCell) OutputWidths() map[string]int {
+	return map[string]int{"h": c.lstm.hidden, "c": c.lstm.hidden, "word": 1, "logits": c.vocab}
+}
+
+// Step implements Cell as a thin allocating wrapper over StepInto.
 func (c *DecoderCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	if _, err := batchOf(inputs, c.InputNames()); err != nil {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.name, err)
 	}
-	x, err := embedLookup(c.embed, inputs["ids"], c.name)
-	if err != nil {
+	out := newOut(c, b)
+	if err := c.StepInto(inputs, out, nil); err != nil {
 		return nil, err
 	}
-	hc, err := c.lstm.Step(map[string]*tensor.Tensor{"x": x, "h": inputs["h"], "c": inputs["c"]})
+	return out, nil
+}
+
+// StepInto implements IntoStepper: embedding gather, LSTM core, the output
+// projection (the large [b,h] @ [h,V] matmul that dominates Seq2Seq compute,
+// §7.4 — and the main beneficiary of the parallel tiled kernel), and a
+// row-wise argmax written straight into the "word" buffer.
+func (c *DecoderCell) StepInto(inputs, out map[string]*tensor.Tensor, a *tensor.Arena) error {
+	b, err := batchOf(inputs, c.InputNames())
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("%s: %w", c.name, err)
 	}
-	logits := tensor.MatMulAddBias(hc["h"], c.proj, c.projBias)
-	am := tensor.Argmax(logits)
-	word := tensor.New(len(am), 1)
-	for i, v := range am {
-		word.Set(float32(v), i, 0)
+	h, cc := inputs["h"], inputs["c"]
+	if h.Dim(1) != c.lstm.hidden || cc.Dim(1) != c.lstm.hidden {
+		return fmt.Errorf("rnn: %s: bad state widths h=%v c=%v", c.name, h.Shape(), cc.Shape())
 	}
-	return map[string]*tensor.Tensor{"h": hc["h"], "c": hc["c"], "word": word, "logits": logits}, nil
+	hOut, err := outBuf(out, c.name, "h", b, c.lstm.hidden)
+	if err != nil {
+		return err
+	}
+	cOut, err := outBuf(out, c.name, "c", b, c.lstm.hidden)
+	if err != nil {
+		return err
+	}
+	logits, err := outBuf(out, c.name, "logits", b, c.vocab)
+	if err != nil {
+		return err
+	}
+	word, err := outBuf(out, c.name, "word", b, 1)
+	if err != nil {
+		return err
+	}
+	x := a.Get(b, c.lstm.inDim)
+	if err := embedLookupInto(x, c.embed, inputs["ids"], c.name); err != nil {
+		return err
+	}
+	c.lstm.stepCore(x, h, cc, hOut, cOut, a)
+	tensor.MatMulAddBiasInto(logits, hOut, c.proj, c.projBias)
+	// Row-wise argmax, ties to the lowest index (Argmax semantics), written
+	// directly into the word buffer so no index slice is allocated.
+	ld, wd := logits.Data(), word.Data()
+	for i := 0; i < b; i++ {
+		row := ld[i*c.vocab : (i+1)*c.vocab]
+		best, bestIdx := row[0], 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > best {
+				best, bestIdx = row[j], j
+			}
+		}
+		wd[i] = float32(bestIdx)
+	}
+	return nil
 }
 
 // Def implements DefExporter.
@@ -214,17 +294,21 @@ func (c *DecoderCell) Weights() graph.Weights {
 	return w
 }
 
-func embedLookup(table, ids *tensor.Tensor, cell string) (*tensor.Tensor, error) {
+// embedLookupInto copies the embedding row of each word id into the rows of
+// dst ([b, e]), allocation-free. Out-of-vocabulary ids are an error, exactly
+// as in the historical allocating lookup.
+func embedLookupInto(dst, table, ids *tensor.Tensor, cell string) error {
 	if ids.Rank() != 2 || ids.Dim(1) != 1 {
-		return nil, fmt.Errorf("rnn: %s: ids must be [b,1], got %v", cell, ids.Shape())
+		return fmt.Errorf("rnn: %s: ids must be [b,1], got %v", cell, ids.Shape())
 	}
-	idx := make([]int, ids.Dim(0))
-	for i := range idx {
-		v := int(ids.At(i, 0))
+	b, cols := ids.Dim(0), table.Dim(1)
+	iv, dd, td := ids.Data(), dst.Data(), table.Data()
+	for i := 0; i < b; i++ {
+		v := int(iv[i])
 		if v < 0 || v >= table.Dim(0) {
-			return nil, fmt.Errorf("rnn: %s: word id %d out of vocabulary [0,%d)", cell, v, table.Dim(0))
+			return fmt.Errorf("rnn: %s: word id %d out of vocabulary [0,%d)", cell, v, table.Dim(0))
 		}
-		idx[i] = v
+		copy(dd[i*cols:(i+1)*cols], td[v*cols:(v+1)*cols])
 	}
-	return tensor.GatherRows(table, idx), nil
+	return nil
 }

@@ -31,6 +31,9 @@ type StackedLSTMCell struct {
 	name    string
 	layers  []*LSTMCell
 	typeKey string
+	// hNames/cNames cache the per-layer state names ("h0", "c0", ...) so the
+	// hot path never calls fmt.Sprintf.
+	hNames, cNames []string
 }
 
 // NewStackedLSTMCell builds an L-layer stack with Xavier-initialized
@@ -47,6 +50,8 @@ func NewStackedLSTMCell(name string, inDim, hidden, layers int, rng *tensor.RNG)
 			in = hidden
 		}
 		c.layers = append(c.layers, NewLSTMCell(fmt.Sprintf("%s_l%d", name, l), in, hidden, rng))
+		c.hNames = append(c.hNames, fmt.Sprintf("h%d", l))
+		c.cNames = append(c.cNames, fmt.Sprintf("c%d", l))
 	}
 	c.typeKey = c.Def().TypeKey(c.Weights().Fingerprint())
 	return c
@@ -69,19 +74,14 @@ func (c *StackedLSTMCell) XWidth() int { return c.layers[0].InDim() }
 
 // StateWidths implements Recurrent.
 func (c *StackedLSTMCell) StateWidths() map[string]int {
-	m := make(map[string]int, 2*len(c.layers))
-	for l := range c.layers {
-		m[fmt.Sprintf("h%d", l)] = c.Hidden()
-		m[fmt.Sprintf("c%d", l)] = c.Hidden()
-	}
-	return m
+	return c.OutputWidths()
 }
 
 // InputNames implements Cell.
 func (c *StackedLSTMCell) InputNames() []string {
 	names := []string{"x"}
 	for l := range c.layers {
-		names = append(names, fmt.Sprintf("h%d", l), fmt.Sprintf("c%d", l))
+		names = append(names, c.hNames[l], c.cNames[l])
 	}
 	return names
 }
@@ -90,33 +90,63 @@ func (c *StackedLSTMCell) InputNames() []string {
 func (c *StackedLSTMCell) OutputNames() []string {
 	var names []string
 	for l := range c.layers {
-		names = append(names, fmt.Sprintf("h%d", l), fmt.Sprintf("c%d", l))
+		names = append(names, c.hNames[l], c.cNames[l])
 	}
 	return names
 }
 
-// Step implements Cell: layer l consumes the previous layer's new hidden
-// state as its input.
+// OutputWidths implements OutputSized.
+func (c *StackedLSTMCell) OutputWidths() map[string]int {
+	m := make(map[string]int, 2*len(c.layers))
+	for l := range c.layers {
+		m[c.hNames[l]] = c.Hidden()
+		m[c.cNames[l]] = c.Hidden()
+	}
+	return m
+}
+
+// Step implements Cell as a thin allocating wrapper over StepInto.
 func (c *StackedLSTMCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	if _, err := batchOf(inputs, c.InputNames()); err != nil {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.name, err)
 	}
-	x := inputs["x"]
-	out := make(map[string]*tensor.Tensor, 2*len(c.layers))
-	for l, layer := range c.layers {
-		hc, err := layer.Step(map[string]*tensor.Tensor{
-			"x": x,
-			"h": inputs[fmt.Sprintf("h%d", l)],
-			"c": inputs[fmt.Sprintf("c%d", l)],
-		})
-		if err != nil {
-			return nil, err
-		}
-		out[fmt.Sprintf("h%d", l)] = hc["h"]
-		out[fmt.Sprintf("c%d", l)] = hc["c"]
-		x = hc["h"]
+	out := newOut(c, b)
+	if err := c.StepInto(inputs, out, nil); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// StepInto implements IntoStepper: layer l consumes the previous layer's new
+// hidden state as its input, each layer running the shared LSTM core against
+// its slice of the caller's output buffers.
+func (c *StackedLSTMCell) StepInto(inputs, out map[string]*tensor.Tensor, a *tensor.Arena) error {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.name, err)
+	}
+	x := inputs["x"]
+	for l, layer := range c.layers {
+		if x.Dim(1) != layer.inDim {
+			return fmt.Errorf("rnn: %s: layer %d input width %d, want %d", c.name, l, x.Dim(1), layer.inDim)
+		}
+		h, cc := inputs[c.hNames[l]], inputs[c.cNames[l]]
+		if h.Dim(1) != layer.hidden || cc.Dim(1) != layer.hidden {
+			return fmt.Errorf("rnn: %s: layer %d bad state widths h=%v c=%v", c.name, l, h.Shape(), cc.Shape())
+		}
+		hOut, err := outBuf(out, c.name, c.hNames[l], b, layer.hidden)
+		if err != nil {
+			return err
+		}
+		cOut, err := outBuf(out, c.name, c.cNames[l], b, layer.hidden)
+		if err != nil {
+			return err
+		}
+		layer.stepCore(x, h, cc, hOut, cOut, a)
+		x = hOut
+	}
+	return nil
 }
 
 // Def implements DefExporter by composing the per-layer LSTM definitions

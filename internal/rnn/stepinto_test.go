@@ -1,0 +1,183 @@
+package rnn
+
+import (
+	"testing"
+
+	"batchmaker/internal/tensor"
+)
+
+// stepIntoCases builds one instance of every built-in cell with random
+// inputs, so the Step ≡ StepInto equivalence can be asserted across the
+// whole zoo.
+func stepIntoCases(rng *tensor.RNG) []struct {
+	cell   IntoStepper
+	inputs map[string]*tensor.Tensor
+} {
+	const b = 3
+	lstm := NewLSTMCell("lstm", testEmbed, testHidden, rng)
+	gru := NewGRUCell("gru", testEmbed, testHidden, rng)
+	stacked := NewStackedLSTMCell("stack", testEmbed, testHidden, 3, rng)
+	leaf := NewTreeLeafCell("leaf", 50, testEmbed, testHidden, rng)
+	internal := NewTreeInternalCell("internal", testHidden, rng)
+	enc := NewEncoderCell("enc", 50, testEmbed, testHidden, rng)
+	dec := NewDecoderCell("dec", 50, testEmbed, testHidden, rng)
+
+	ids := tensor.New(b, 1)
+	for i := 0; i < b; i++ {
+		ids.Set(float32(3+i*7), i, 0)
+	}
+	stackedIn := randInputs(rng, b, map[string]int{"x": testEmbed})
+	for l := 0; l < 3; l++ {
+		for k, v := range randInputs(rng, b, map[string]int{
+			stacked.hNames[l]: testHidden, stacked.cNames[l]: testHidden,
+		}) {
+			stackedIn[k] = v
+		}
+	}
+	return []struct {
+		cell   IntoStepper
+		inputs map[string]*tensor.Tensor
+	}{
+		{lstm, randInputs(rng, b, map[string]int{"x": testEmbed, "h": testHidden, "c": testHidden})},
+		{gru, randInputs(rng, b, map[string]int{"x": testEmbed, "h": testHidden})},
+		{stacked, stackedIn},
+		{leaf, map[string]*tensor.Tensor{"ids": ids}},
+		{internal, randInputs(rng, b, map[string]int{"hl": testHidden, "cl": testHidden, "hr": testHidden, "cr": testHidden})},
+		{enc, mergeInputs(map[string]*tensor.Tensor{"ids": ids}, randInputs(rng, b, map[string]int{"h": testHidden, "c": testHidden}))},
+		{dec, mergeInputs(map[string]*tensor.Tensor{"ids": ids}, randInputs(rng, b, map[string]int{"h": testHidden, "c": testHidden}))},
+	}
+}
+
+func mergeInputs(ms ...map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	out := map[string]*tensor.Tensor{}
+	for _, m := range ms {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// TestStepIntoMatchesStep asserts the arena fast path is bit-identical to
+// the allocating Step for every built-in cell: same code, different memory.
+func TestStepIntoMatchesStep(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	arena := tensor.NewArena(0)
+	for _, tc := range stepIntoCases(rng) {
+		want, err := tc.cell.Step(tc.inputs)
+		if err != nil {
+			t.Fatalf("%s: Step: %v", tc.cell.Name(), err)
+		}
+		widths := tc.cell.(OutputSized).OutputWidths()
+		b := want[tc.cell.OutputNames()[0]].Dim(0)
+		out := make(map[string]*tensor.Tensor, len(widths))
+		for _, name := range tc.cell.OutputNames() {
+			out[name] = tensor.New(b, widths[name])
+		}
+		arena.Reset()
+		if err := tc.cell.StepInto(tc.inputs, out, arena); err != nil {
+			t.Fatalf("%s: StepInto: %v", tc.cell.Name(), err)
+		}
+		for name, w := range want {
+			if !out[name].Equal(w) {
+				t.Fatalf("%s: output %q differs between Step and StepInto", tc.cell.Name(), name)
+			}
+		}
+	}
+}
+
+// TestOutputWidthsCoverOutputNames pins the OutputSized contract the
+// server's preallocation relies on.
+func TestOutputWidthsCoverOutputNames(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	for _, tc := range stepIntoCases(rng) {
+		widths := tc.cell.(OutputSized).OutputWidths()
+		names := tc.cell.OutputNames()
+		if len(widths) != len(names) {
+			t.Fatalf("%s: OutputWidths has %d entries, OutputNames %d", tc.cell.Name(), len(widths), len(names))
+		}
+		for _, name := range names {
+			if w, ok := widths[name]; !ok || w <= 0 {
+				t.Fatalf("%s: OutputWidths[%q] = %d, %v", tc.cell.Name(), name, w, ok)
+			}
+		}
+	}
+}
+
+// TestStepIntoRejectsBadBuffers asserts the shape check on caller buffers.
+func TestStepIntoRejectsBadBuffers(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	cell := NewLSTMCell("lstm", testEmbed, testHidden, rng)
+	in := randInputs(rng, 2, map[string]int{"x": testEmbed, "h": testHidden, "c": testHidden})
+	out := map[string]*tensor.Tensor{
+		"h": tensor.New(2, testHidden),
+		"c": tensor.New(2, testHidden+1), // wrong width
+	}
+	if err := cell.StepInto(in, out, nil); err == nil {
+		t.Fatal("StepInto accepted a mis-shaped output buffer")
+	}
+	delete(out, "c")
+	if err := cell.StepInto(in, out, nil); err == nil {
+		t.Fatal("StepInto accepted a missing output buffer")
+	}
+}
+
+// TestLSTMStepIntoZeroAlloc is the satellite zero-alloc assertion: with a
+// warmed arena and preallocated buffers, one LSTM step performs no heap
+// allocation.
+func TestLSTMStepIntoZeroAlloc(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	cell := NewLSTMCell("lstm", 32, 64, rng)
+	in := randInputs(rng, 4, map[string]int{"x": 32, "h": 64, "c": 64})
+	out := map[string]*tensor.Tensor{
+		"h": tensor.New(4, 64),
+		"c": tensor.New(4, 64),
+	}
+	arena := tensor.NewArena(0)
+	// Warm the arena slab.
+	if err := cell.StepInto(in, out, arena); err != nil {
+		t.Fatal(err)
+	}
+	arena.Reset()
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := cell.StepInto(in, out, arena); err != nil {
+			t.Fatal(err)
+		}
+		arena.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("LSTMCell.StepInto allocates %.1f times per step, want 0", allocs)
+	}
+}
+
+// TestDecoderStepIntoZeroAlloc extends the zero-alloc assertion to the most
+// complex cell (embedding gather + LSTM + projection + argmax).
+func TestDecoderStepIntoZeroAlloc(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	cell := NewDecoderCell("dec", 100, 16, 32, rng)
+	ids := tensor.New(2, 1)
+	ids.Set(5, 0, 0)
+	ids.Set(9, 1, 0)
+	in := mergeInputs(map[string]*tensor.Tensor{"ids": ids},
+		randInputs(rng, 2, map[string]int{"h": 32, "c": 32}))
+	out := map[string]*tensor.Tensor{
+		"h":      tensor.New(2, 32),
+		"c":      tensor.New(2, 32),
+		"word":   tensor.New(2, 1),
+		"logits": tensor.New(2, 100),
+	}
+	arena := tensor.NewArena(0)
+	if err := cell.StepInto(in, out, arena); err != nil {
+		t.Fatal(err)
+	}
+	arena.Reset()
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := cell.StepInto(in, out, arena); err != nil {
+			t.Fatal(err)
+		}
+		arena.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("DecoderCell.StepInto allocates %.1f times per step, want 0", allocs)
+	}
+}

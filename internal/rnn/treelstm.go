@@ -61,24 +61,50 @@ func (c *TreeLeafCell) Hidden() int { return c.hidden }
 // Vocab returns the vocabulary size.
 func (c *TreeLeafCell) Vocab() int { return c.vocab }
 
-// Step implements Cell.
+// OutputWidths implements OutputSized.
+func (c *TreeLeafCell) OutputWidths() map[string]int {
+	return map[string]int{"h": c.hidden, "c": c.hidden}
+}
+
+// Step implements Cell as a thin allocating wrapper over StepInto.
 func (c *TreeLeafCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	if _, err := batchOf(inputs, c.InputNames()); err != nil {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.name, err)
 	}
-	x, err := embedLookup(c.embed, inputs["ids"], c.name)
-	if err != nil {
+	out := newOut(c, b)
+	if err := c.StepInto(inputs, out, nil); err != nil {
 		return nil, err
 	}
-	pre := tensor.MatMulAddBias(x, c.w, c.bias)
-	b := pre.Dim(0)
+	return out, nil
+}
+
+// StepInto implements IntoStepper.
+func (c *TreeLeafCell) StepInto(inputs, out map[string]*tensor.Tensor, a *tensor.Arena) error {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.name, err)
+	}
 	h := c.hidden
-	hOut := tensor.New(b, h)
-	cOut := tensor.New(b, h)
+	hOut, err := outBuf(out, c.name, "h", b, h)
+	if err != nil {
+		return err
+	}
+	cOut, err := outBuf(out, c.name, "c", b, h)
+	if err != nil {
+		return err
+	}
+	x := a.Get(b, c.embed.Dim(1))
+	if err := embedLookupInto(x, c.embed, inputs["ids"], c.name); err != nil {
+		return err
+	}
+	pre := a.Get(b, 3*h)
+	tensor.MatMulAddBiasInto(pre, x, c.w, c.bias)
+	pd, hd, cd := pre.Data(), hOut.Data(), cOut.Data()
 	for r := 0; r < b; r++ {
-		p := pre.RowSlice(r)
-		hr := hOut.RowSlice(r)
-		cr := cOut.RowSlice(r)
+		p := pd[r*3*h : (r+1)*3*h]
+		hr := hd[r*h : (r+1)*h]
+		cr := cd[r*h : (r+1)*h]
 		for j := 0; j < h; j++ {
 			i := sigmoid32(p[j])
 			o := sigmoid32(p[h+j])
@@ -87,7 +113,7 @@ func (c *TreeLeafCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tenso
 			hr[j] = o * tanh32(cr[j])
 		}
 	}
-	return map[string]*tensor.Tensor{"h": hOut, "c": cOut}, nil
+	return nil
 }
 
 // Def implements DefExporter.
@@ -173,24 +199,51 @@ func (c *TreeInternalCell) OutputNames() []string { return []string{"h", "c"} }
 // Hidden returns the hidden width.
 func (c *TreeInternalCell) Hidden() int { return c.hidden }
 
-// Step implements Cell.
+// OutputWidths implements OutputSized.
+func (c *TreeInternalCell) OutputWidths() map[string]int {
+	return map[string]int{"h": c.hidden, "c": c.hidden}
+}
+
+// Step implements Cell as a thin allocating wrapper over StepInto.
 func (c *TreeInternalCell) Step(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	b, err := batchOf(inputs, c.InputNames())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.name, err)
 	}
-	hl, cl, hr, cr := inputs["hl"], inputs["cl"], inputs["hr"], inputs["cr"]
-	hlr := tensor.ConcatCols(hl, hr)
-	pre := tensor.MatMulAddBias(hlr, c.w, c.bias)
+	out := newOut(c, b)
+	if err := c.StepInto(inputs, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StepInto implements IntoStepper.
+func (c *TreeInternalCell) StepInto(inputs, out map[string]*tensor.Tensor, a *tensor.Arena) error {
+	b, err := batchOf(inputs, c.InputNames())
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.name, err)
+	}
 	h := c.hidden
-	hOut := tensor.New(b, h)
-	cOut := tensor.New(b, h)
+	hOut, err := outBuf(out, c.name, "h", b, h)
+	if err != nil {
+		return err
+	}
+	cOut, err := outBuf(out, c.name, "c", b, h)
+	if err != nil {
+		return err
+	}
+	hl, cl, hr, cr := inputs["hl"], inputs["cl"], inputs["hr"], inputs["cr"]
+	hlr := a.Get(b, 2*h)
+	tensor.ConcatColsInto(hlr, hl, hr)
+	pre := a.Get(b, 5*h)
+	tensor.MatMulAddBiasInto(pre, hlr, c.w, c.bias)
+	pd, cld, crd, hd, cd := pre.Data(), cl.Data(), cr.Data(), hOut.Data(), cOut.Data()
 	for r := 0; r < b; r++ {
-		p := pre.RowSlice(r)
-		clr := cl.RowSlice(r)
-		crr := cr.RowSlice(r)
-		ho := hOut.RowSlice(r)
-		co := cOut.RowSlice(r)
+		p := pd[r*5*h : (r+1)*5*h]
+		clr := cld[r*h : (r+1)*h]
+		crr := crd[r*h : (r+1)*h]
+		ho := hd[r*h : (r+1)*h]
+		co := cd[r*h : (r+1)*h]
 		for j := 0; j < h; j++ {
 			i := sigmoid32(p[j])
 			fl := sigmoid32(p[h+j])
@@ -201,7 +254,7 @@ func (c *TreeInternalCell) Step(inputs map[string]*tensor.Tensor) (map[string]*t
 			ho[j] = o * tanh32(co[j])
 		}
 	}
-	return map[string]*tensor.Tensor{"h": hOut, "c": cOut}, nil
+	return nil
 }
 
 // Def implements DefExporter.

@@ -49,8 +49,12 @@ type completion struct {
 	worker   int
 	task     *core.Task
 	executed []execRef
-	err      error
-	exit     bool
+	// refsBuf, when non-nil, is the pooled backing buffer of executed. The
+	// request processor returns it to execRefPool after complete() so the
+	// steady-state path allocates no per-task slice.
+	refsBuf *[]execRef
+	err     error
+	exit    bool
 }
 
 // deadlineEntry is one pending expiry. Entries are lazily deleted: a
@@ -119,6 +123,9 @@ func (s *Server) requestProcessor() {
 				rp.workersLeft--
 			} else {
 				rp.complete(rec)
+				if rec.refsBuf != nil {
+					putExecRefs(rec.refsBuf)
+				}
 			}
 		case <-rp.timer.C:
 			rp.timerArmed = false

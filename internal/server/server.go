@@ -48,6 +48,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	rtmetrics "runtime/metrics"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -174,11 +175,18 @@ func (r *request) dead() bool { return r.resolved.Load() || r.poisoned.Load() }
 
 // Server is a live cellular-batching inference server.
 type Server struct {
-	cfg          Config
-	cells        map[string]rnn.Cell
+	cfg   Config
+	cells map[string]rnn.Cell
+	// outWidths caches OutputWidths per cell type (nil entry: widths
+	// unknown). Admission uses it to preallocate per-request output rows;
+	// workers use it to size arena-backed step outputs.
+	outWidths    map[string]map[string]int
 	faults       FaultInjector
 	maxRetries   int
 	retryBackoff time.Duration
+	// baseAllocs is the process-wide heap-allocation count when the server
+	// started; Stats divides the delta by tasks run. Immutable after New.
+	baseAllocs uint64
 
 	// Stage hand-offs.
 	cmds        chan any        // callers -> request processor (unbuffered)
@@ -207,6 +215,7 @@ type Server struct {
 	statsMu        sync.Mutex
 	tasksRun       int
 	cellsRun       int
+	execNanos      int64 // total worker gather+execute time
 	queuedCells    int // mirrored from the request processor
 	liveRequests   int // mirrored from the request processor
 	batchesBy      map[int]int // batch size -> count
@@ -233,6 +242,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	types := make([]core.TypeConfig, 0, len(cfg.Cells))
 	cells := make(map[string]rnn.Cell, len(cfg.Cells))
+	outWidths := make(map[string]map[string]int, len(cfg.Cells))
 	for _, cs := range cfg.Cells {
 		if cs.Cell == nil {
 			return nil, fmt.Errorf("server: nil cell in config")
@@ -242,6 +252,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: duplicate cell type %q", key)
 		}
 		cells[key] = cs.Cell
+		if sized, ok := cs.Cell.(rnn.OutputSized); ok {
+			outWidths[key] = sized.OutputWidths()
+		}
 		types = append(types, core.TypeConfig{
 			Key:      key,
 			MaxBatch: cs.MaxBatch,
@@ -275,7 +288,9 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:           cfg,
 		cells:         cells,
+		outWidths:     outWidths,
 		faults:        cfg.Faults,
+		baseAllocs:    heapAllocObjects(),
 		maxRetries:    maxRetries,
 		retryBackoff:  backoff,
 		cmds:          make(chan any),
@@ -431,6 +446,13 @@ func (s *Server) SubmitAsyncOpts(g *cellgraph.Graph, opts SubmitOpts) (*Handle, 
 	if err != nil {
 		return nil, err
 	}
+	// Carve the request's output rows here, on the caller's goroutine, so
+	// the worker scatter writes in place instead of allocating (the arena
+	// counterpart on the gather/step side lives in the worker). Cell types
+	// without static widths simply keep the allocating path.
+	state.PreallocOutputs(func(id cellgraph.NodeID) map[string]int {
+		return s.outWidths[g.Nodes[id].Cell.TypeKey()]
+	})
 	id := core.RequestID(s.nextID.Add(1))
 	tracker, err := core.NewTracker(id, g)
 	if err != nil {
@@ -537,6 +559,15 @@ type Stats struct {
 	// latencies (Schedule call plus hand-off to the worker channel).
 	DispatchP50 time.Duration
 	DispatchP99 time.Duration
+	// NsPerCell is the mean worker time (gather + execute) per cell row —
+	// the per-row cost of the batched hot path.
+	NsPerCell time.Duration
+	// ProcessAllocsPerTask is the process-wide heap-allocation count since
+	// the server started, divided by tasks run. It includes admission and
+	// caller-side allocations, so it is an upper bound on what the worker
+	// loop itself allocates; a steady-state value near the per-request
+	// admission cost means the execution path is allocation-free.
+	ProcessAllocsPerTask float64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -563,7 +594,7 @@ func (s *Server) Stats() Stats {
 			BatchSizes: wb,
 		}
 	}
-	return Stats{
+	st := Stats{
 		TasksRun:       s.tasksRun,
 		CellsRun:       s.cellsRun,
 		BatchSizes:     by,
@@ -576,6 +607,23 @@ func (s *Server) Stats() Stats {
 		DispatchP50:    s.dispatchLat.P50(),
 		DispatchP99:    s.dispatchLat.P99(),
 	}
+	if s.cellsRun > 0 {
+		st.NsPerCell = time.Duration(s.execNanos / int64(s.cellsRun))
+	}
+	if s.tasksRun > 0 {
+		st.ProcessAllocsPerTask = float64(heapAllocObjects()-s.baseAllocs) / float64(s.tasksRun)
+	}
+	return st
+}
+
+// heapAllocObjects reads the cumulative process-wide heap allocation count.
+func heapAllocObjects() uint64 {
+	sample := []rtmetrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	rtmetrics.Read(sample)
+	if sample[0].Value.Kind() == rtmetrics.KindUint64 {
+		return sample[0].Value.Uint64()
+	}
+	return 0
 }
 
 // schedulerGauges returns the scheduler-loop-mirrored core.Scheduler gauges

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"batchmaker/internal/core"
@@ -9,46 +10,91 @@ import (
 	"batchmaker/internal/tensor"
 )
 
-// gatherBufs is one worker's private gather scratch: a reused batch buffer
-// per (cell type, input name) plus row-pointer scratch, so steady-state
-// gather performs zero allocations (§4.3's memory-copy step). Buffers grow
-// geometrically to the largest batch seen.
-type gatherBufs struct {
-	bufs map[string]*tensor.Tensor
-	rows [][]*tensor.Tensor
+// typeExec caches one worker's per-cell-type execution resources: the
+// resolved fast path, the input/output name lists (so the hot loop never
+// re-allocates them), and the reused input/output tensor maps.
+type typeExec struct {
+	cell     rnn.Cell
+	fast     rnn.IntoStepper // nil: the cell has no StepInto; use Step
+	inNames  []string
+	outNames []string
+	widths   map[string]int // nil: output widths unknown; allocating scatter
+	inputs   map[string]*tensor.Tensor
+	outs     map[string]*tensor.Tensor
 }
 
-func newGatherBufs() *gatherBufs {
-	return &gatherBufs{bufs: make(map[string]*tensor.Tensor)}
+// workerExec is one worker's reusable execution state: the scratch arena
+// every per-task intermediate is carved from, the per-type caches, and the
+// row-pointer gather scratch. Together with per-request output rows
+// preallocated at admission, it makes the steady-state task loop — gather,
+// step, scatter — free of heap allocations (§4.3's memory-copy step run at
+// memcpy speed, not allocator speed).
+type workerExec struct {
+	arena *tensor.Arena
+	types map[string]*typeExec
+	rows  [][]*tensor.Tensor
+}
+
+func newWorkerExec() *workerExec {
+	return &workerExec{
+		arena: tensor.NewArena(0),
+		types: make(map[string]*typeExec),
+	}
+}
+
+// typeFor returns the cached per-type resources, building them on first use.
+func (w *workerExec) typeFor(key string, cell rnn.Cell, widths map[string]int) *typeExec {
+	te := w.types[key]
+	if te == nil {
+		te = &typeExec{
+			cell:     cell,
+			inNames:  cell.InputNames(),
+			outNames: cell.OutputNames(),
+			widths:   widths,
+			inputs:   make(map[string]*tensor.Tensor),
+			outs:     make(map[string]*tensor.Tensor),
+		}
+		if fast, ok := cell.(rnn.IntoStepper); ok {
+			te.fast = fast
+		}
+		w.types[key] = te
+	}
+	return te
 }
 
 // scratch returns per-input row-pointer slices with capacity for n rows.
-func (g *gatherBufs) scratch(inputs, n int) [][]*tensor.Tensor {
-	for len(g.rows) < inputs {
-		g.rows = append(g.rows, nil)
+func (w *workerExec) scratch(inputs, n int) [][]*tensor.Tensor {
+	for len(w.rows) < inputs {
+		w.rows = append(w.rows, nil)
 	}
 	for i := 0; i < inputs; i++ {
-		if cap(g.rows[i]) < n {
-			g.rows[i] = make([]*tensor.Tensor, 0, 2*n)
+		if cap(w.rows[i]) < n {
+			w.rows[i] = make([]*tensor.Tensor, 0, 2*n)
 		}
-		g.rows[i] = g.rows[i][:n]
+		w.rows[i] = w.rows[i][:n]
 	}
-	return g.rows[:inputs]
+	return w.rows[:inputs]
 }
 
-// batch returns the reused [>=n, cols] batch buffer for one input.
-func (g *gatherBufs) batch(typeKey, input string, n, cols int) *tensor.Tensor {
-	k := typeKey + "\x00" + input
-	b := g.bufs[k]
-	if b == nil || b.Dim(0) < n || b.Dim(1) != cols {
-		rows := n
-		if b != nil && b.Dim(1) == cols && 2*b.Dim(0) > rows {
-			rows = 2 * b.Dim(0)
-		}
-		b = tensor.New(rows, cols)
-		g.bufs[k] = b
+// execRefPool recycles the executed-rows slices that travel inside
+// completion records from workers to the request processor. The processor
+// returns each buffer after consuming it (see requestProcessor), so in
+// steady state no per-task slice is allocated. Buffers are cleared before
+// reuse so pooled entries do not pin resolved requests in memory.
+var execRefPool = sync.Pool{New: func() any {
+	b := make([]execRef, 0, 64)
+	return &b
+}}
+
+func getExecRefs() *[]execRef { return execRefPool.Get().(*[]execRef) }
+
+func putExecRefs(buf *[]execRef) {
+	refs := *buf
+	for i := range refs {
+		refs[i] = execRef{}
 	}
-	return b
+	*buf = refs[:0]
+	execRefPool.Put(buf)
 }
 
 // rowWidth returns the column count of a one-row tensor (rank-1 or [1, c]).
@@ -66,9 +112,9 @@ func rowWidth(t *tensor.Tensor) int {
 // completions can arrive.
 func (s *Server) workerLoop(id int, tasks <-chan *core.Task) {
 	defer s.wg.Done()
-	bufs := newGatherBufs()
+	ws := newWorkerExec()
 	for task := range tasks {
-		s.completions <- s.execTask(id, task, bufs)
+		s.completions <- s.execTask(id, task, ws)
 	}
 	s.completions <- completion{worker: id, exit: true}
 }
@@ -80,10 +126,12 @@ func (s *Server) workerLoop(id int, tasks <-chan *core.Task) {
 // gather must observe its dependency's scatter, exactly like consecutive
 // kernels on one GPU stream. Dependency tracking and resolution stay with
 // the request processor.
-func (s *Server) execTask(id int, task *core.Task, bufs *gatherBufs) completion {
-	cell := s.cells[task.TypeKey]
+func (s *Server) execTask(id int, task *core.Task, ws *workerExec) completion {
+	te := ws.typeFor(task.TypeKey, s.cells[task.TypeKey], s.outWidths[task.TypeKey])
+	ws.arena.Reset()
 	now := time.Now()
-	refs := make([]execRef, 0, len(task.Nodes))
+	refsBuf := getExecRefs()
+	refs := *refsBuf
 	s.liveMu.RLock()
 	for _, nr := range task.Nodes {
 		r := s.live[nr.Req]
@@ -101,37 +149,37 @@ func (s *Server) execTask(id int, task *core.Task, bufs *gatherBufs) completion 
 		refs = append(refs, execRef{req: r, node: nr.Node})
 	}
 	s.liveMu.RUnlock()
+	*refsBuf = refs
 	if len(refs) == 0 {
 		// Nothing left to run: the completion record still retires the
 		// task so the scheduler's pin and in-flight bookkeeping drain
 		// clean.
+		putExecRefs(refsBuf)
 		return completion{worker: id, task: task}
 	}
 
 	// Gather: assemble contiguous batched inputs from scattered per-request
-	// rows (the memory-copy step of §4.3) into this worker's reused
-	// buffers. Row pointers are read under each request's state lock; the
-	// copies happen outside it (completed outputs are immutable).
-	names := cell.InputNames()
-	rowsByName := bufs.scratch(len(names), len(refs))
+	// rows (the memory-copy step of §4.3) into exact-fit arena buffers. Row
+	// pointers are read under each request's state lock; the copies happen
+	// outside it (completed outputs are immutable).
+	rowsByName := ws.scratch(len(te.inNames), len(refs))
 	for i, ref := range refs {
 		ref.req.stateMu.Lock()
-		for j, name := range names {
+		for j, name := range te.inNames {
 			rowsByName[j][i] = ref.req.state.InputRow(ref.node, name)
 		}
 		ref.req.state.MarkIssued(ref.node)
 		ref.req.stateMu.Unlock()
 	}
-	inputs := make(map[string]*tensor.Tensor, len(names))
-	for j, name := range names {
-		buf := bufs.batch(task.TypeKey, name, len(refs), rowWidth(rowsByName[j][0]))
-		inputs[name] = tensor.GatherRowsInto(buf, rowsByName[j])
+	for j, name := range te.inNames {
+		buf := ws.arena.Get(len(refs), rowWidth(rowsByName[j][0]))
+		tensor.FillRows(buf, rowsByName[j])
+		te.inputs[name] = buf
 	}
 
 	// Execute: this is the GPU kernel. runStep layers fault injection,
-	// panic containment and transient-error retry around the raw
-	// cell.Step.
-	outs, stepErr := s.runStep(cell, task, inputs, len(refs))
+	// panic containment and transient-error retry around the raw step.
+	outs, stepErr := s.runStep(te, task, len(refs), ws.arena)
 
 	var traceRefs []core.NodeRef
 	if s.trace != nil {
@@ -140,9 +188,11 @@ func (s *Server) execTask(id int, task *core.Task, bufs *gatherBufs) completion 
 			traceRefs[i] = core.NodeRef{Req: ref.req.id, Node: ref.node}
 		}
 	}
+	elapsed := time.Since(now)
 	s.statsMu.Lock()
 	s.tasksRun++
 	s.cellsRun += len(refs)
+	s.execNanos += int64(elapsed)
 	s.batchesBy[len(refs)]++
 	s.workerTasks[id]++
 	s.workerBatches[id][len(refs)]++
@@ -160,41 +210,44 @@ func (s *Server) execTask(id int, task *core.Task, bufs *gatherBufs) completion 
 		for _, ref := range refs {
 			ref.req.poisoned.Store(true)
 		}
-		return completion{worker: id, task: task, executed: refs, err: stepErr}
+		return completion{worker: id, task: task, executed: refs, refsBuf: refsBuf, err: stepErr}
 	}
 
-	// Scatter: copy each batch-output row into per-request row tensors
-	// (carved from one allocation per output) and complete the nodes, so
-	// successor gathers — on this worker via FIFO, on others via the
-	// completion stage's release — see finished inputs.
-	outRows := make(map[string][]*tensor.Tensor, len(outs))
-	for name, t := range outs {
-		rows := tensor.NewRows(len(refs), t.Dim(1))
-		tensor.ScatterRowsInto(rows, t)
-		outRows[name] = rows
-	}
+	// Scatter: copy each batch-output row into the request's preallocated
+	// output rows (carved at admission) and complete the nodes, so successor
+	// gathers — on this worker via FIFO, on others via the completion
+	// stage's release — see finished inputs. Requests whose outputs were not
+	// preallocated (cells without static widths) take the allocating path.
 	for i, ref := range refs {
 		if ref.req.resolved.Load() {
 			// Resolved mid-execution; its state will never be read.
 			continue
 		}
-		rowOut := make(map[string]*tensor.Tensor, len(outRows))
-		for name, rows := range outRows {
-			rowOut[name] = rows[i]
-		}
 		ref.req.stateMu.Lock()
-		ref.req.state.Complete(ref.node, rowOut)
+		if ref.req.state.Preallocated(ref.node) {
+			for _, name := range te.outNames {
+				dst := ref.req.state.OutputRow(ref.node, name)
+				copy(dst.Data(), outs[name].RowSlice(i))
+			}
+			ref.req.state.CompletePrealloc(ref.node)
+		} else {
+			rowOut := make(map[string]*tensor.Tensor, len(outs))
+			for name, t := range outs {
+				rowOut[name] = tensor.SliceRows(t, i, i+1)
+			}
+			ref.req.state.Complete(ref.node, rowOut)
+		}
 		ref.req.stateMu.Unlock()
 	}
-	return completion{worker: id, task: task, executed: refs}
+	return completion{worker: id, task: task, executed: refs, refsBuf: refsBuf}
 }
 
 // runStep executes one task attempt chain: consult the fault injector,
 // contain panics, and retry transient errors with exponential backoff.
-func (s *Server) runStep(cell rnn.Cell, task *core.Task, inputs map[string]*tensor.Tensor, batch int) (map[string]*tensor.Tensor, error) {
+func (s *Server) runStep(te *typeExec, task *core.Task, batch int, arena *tensor.Arena) (map[string]*tensor.Tensor, error) {
 	backoff := s.retryBackoff
 	for attempt := 0; ; attempt++ {
-		outs, err := s.stepOnce(cell, task, inputs, batch)
+		outs, err := s.stepOnce(te, task, batch, arena)
 		if err == nil || !IsTransient(err) || attempt >= s.maxRetries {
 			return outs, err
 		}
@@ -210,10 +263,12 @@ func (s *Server) runStep(cell rnn.Cell, task *core.Task, inputs map[string]*tens
 	}
 }
 
-// stepOnce is one execution attempt. A panicking cell (injected or real) is
+// stepOnce is one execution attempt. Cells with a StepInto fast path run it
+// against arena-backed output buffers (reused via te.outs); other cells fall
+// back to the allocating Step. A panicking cell (injected or real) is
 // recovered here — the worker survives, the batch's requests fail, and the
 // cell's quarantine counter grows.
-func (s *Server) stepOnce(cell rnn.Cell, task *core.Task, inputs map[string]*tensor.Tensor, batch int) (outs map[string]*tensor.Tensor, err error) {
+func (s *Server) stepOnce(te *typeExec, task *core.Task, batch int, arena *tensor.Arena) (outs map[string]*tensor.Tensor, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.statsMu.Lock()
@@ -224,7 +279,7 @@ func (s *Server) stepOnce(cell rnn.Cell, task *core.Task, inputs map[string]*ten
 				Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
 			})
 			s.statsMu.Unlock()
-			err = fmt.Errorf("%w: %s: %v", ErrCellPanic, cell.Name(), p)
+			err = fmt.Errorf("%w: %s: %v", ErrCellPanic, te.cell.Name(), p)
 			outs = nil
 		}
 	}()
@@ -246,5 +301,14 @@ func (s *Server) stepOnce(cell rnn.Cell, task *core.Task, inputs map[string]*ten
 			panic(ErrInjected)
 		}
 	}
-	return cell.Step(inputs)
+	if te.fast != nil && te.widths != nil {
+		for _, name := range te.outNames {
+			te.outs[name] = arena.Get(batch, te.widths[name])
+		}
+		if err := te.fast.StepInto(te.inputs, te.outs, arena); err != nil {
+			return nil, err
+		}
+		return te.outs, nil
+	}
+	return te.cell.Step(te.inputs)
 }

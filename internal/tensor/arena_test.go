@@ -1,0 +1,86 @@
+package tensor
+
+import "testing"
+
+func TestArenaGetAndReset(t *testing.T) {
+	a := NewArena(12)
+	x := a.Get(2, 3)
+	y := a.Get(2, 3)
+	if x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("Get shape = %v", x.Shape())
+	}
+	// Distinct allocations from the same slab must not overlap.
+	for i := range x.Data() {
+		x.Data()[i] = 1
+	}
+	for _, v := range y.Data() {
+		if v == 1 {
+			t.Fatal("arena allocations overlap")
+		}
+	}
+	a.Reset()
+	z := a.Get(2, 3)
+	if &z.Data()[0] != &x.Data()[0] {
+		t.Fatal("Reset did not rewind the slab")
+	}
+	if z != x {
+		t.Fatal("Reset did not recycle the tensor header")
+	}
+}
+
+func TestArenaOverflowGrowsOnReset(t *testing.T) {
+	a := NewArena(4)
+	a.Get(2, 3) // 6 elements: overflows the 4-element slab
+	a.Get(3, 3)
+	a.Reset()
+	if a.Cap() < 15 {
+		t.Fatalf("slab did not grow to high-water mark: cap=%d", a.Cap())
+	}
+	// The regrown slab must fit the same cycle without overflow.
+	before := a.Cap()
+	a.Get(2, 3)
+	a.Get(3, 3)
+	a.Reset()
+	if a.Cap() != before {
+		t.Fatalf("slab regrew on a fitting cycle: %d -> %d", before, a.Cap())
+	}
+}
+
+func TestArenaNilFallsBackToAllocation(t *testing.T) {
+	var a *Arena
+	x := a.Get(2, 2)
+	if x.Dim(0) != 2 || x.Dim(1) != 2 {
+		t.Fatalf("nil-arena Get shape = %v", x.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("nil-arena Get must be zero-filled (it is a plain New)")
+		}
+	}
+	a.Reset() // must not panic
+}
+
+func TestArenaScratchIsExactFit(t *testing.T) {
+	a := NewArena(64)
+	x := a.Get(2, 3)
+	if len(x.Data()) != 6 || cap(x.Data()) != 6 {
+		t.Fatalf("arena scratch len=%d cap=%d, want exact fit 6", len(x.Data()), cap(x.Data()))
+	}
+}
+
+func TestArenaZeroAllocSteadyState(t *testing.T) {
+	a := NewArena(0)
+	// Warm the slab and header pool.
+	a.Reset()
+	a.Get(4, 8)
+	a.Get(8, 2)
+	a.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Get(4, 8)
+		a.Get(8, 2)
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena cycle allocates %.1f times", allocs)
+	}
+}

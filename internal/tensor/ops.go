@@ -12,82 +12,62 @@ import (
 // output row and the b row contiguously, which is the standard cache-friendly
 // ikj ordering for row-major matrices.
 func MatMul(a, b *Tensor) *Tensor {
+	m, _, n := matMulDims(a, b)
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a @ b, fully overwriting dst (which must be a
+// rank-2 [m, n] tensor and must not alias a or b). It is the allocation-free
+// form of MatMul: workers call it with arena scratch as dst. Large products
+// take the column-tiled parallel path (see parallel.go); results are
+// bit-identical either way.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, n := matMulDims(a, b)
+	checkDst(dst, "MatMulInto", m, n)
+	matMulDispatch(dst.data, a.data, b.data, nil, m, k, n)
+}
+
+func matMulDims(a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 tensors, got %v @ %v", a.shape, b.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
+	m, k = a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	matMulInto(out.data, a.data, b.data, m, k, n)
-	return out
+	return m, k, n
 }
 
-// matMulInto is the kernel behind MatMul: 4-row register blocking, so one
-// sweep of b serves four rows of a and each loaded weight feeds four
-// multiply-adds. Per-row cost therefore drops as the batch grows — the
-// kernel-level reason a batched task is cheaper than the same rows run as
-// batch-1 tasks, mirroring the weight-reuse economics of batched GEMM on
-// an accelerator.
-func matMulInto(dst, a, b []float32, m, k, n int) {
-	i := 0
-	for ; i+4 <= m; i += 4 {
-		a0 := a[(i+0)*k : (i+1)*k]
-		a1 := a[(i+1)*k : (i+2)*k]
-		a2 := a[(i+2)*k : (i+3)*k]
-		a3 := a[(i+3)*k : (i+4)*k]
-		o0 := dst[(i+0)*n : (i+1)*n]
-		o1 := dst[(i+1)*n : (i+2)*n]
-		o2 := dst[(i+2)*n : (i+3)*n]
-		o3 := dst[(i+3)*n : (i+4)*n]
-		for p := 0; p < k; p++ {
-			v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
-			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
-				// Whole block skips: keeps one-hot embedding rows cheap.
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				o0[j] += v0 * bv
-				o1[j] += v1 * bv
-				o2[j] += v2 * bv
-				o3[j] += v3 * bv
-			}
-		}
-	}
-	for ; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := dst[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+func checkDst(dst *Tensor, name string, m, n int) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", name, dst.shape, m, n))
 	}
 }
 
 // MatMulAddBias computes a @ w + bias, broadcasting bias (shape [n]) across
 // the rows of the [m, n] product. It is the fused op every RNN cell uses.
 func MatMulAddBias(a, w, bias *Tensor) *Tensor {
-	out := MatMul(a, w)
-	n := out.shape[1]
+	m, _, n := matMulDims(a, w)
+	out := New(m, n)
+	MatMulAddBiasInto(out, a, w, bias)
+	return out
+}
+
+// MatMulAddBiasInto computes dst = a @ w + bias, fully overwriting dst (a
+// rank-2 [m, n] tensor that must not alias a or w). Each output row is
+// INITIALIZED from the bias and the product accumulated on top, so the bias
+// broadcast costs nothing beyond the initialization every matmul needs —
+// there is no second O(m·n) sweep over the result.
+func MatMulAddBiasInto(dst, a, w, bias *Tensor) {
+	m, k, n := matMulDims(a, w)
+	checkDst(dst, "MatMulAddBiasInto", m, n)
 	if bias.Rank() != 1 || bias.shape[0] != n {
 		panic(fmt.Sprintf("tensor: bias shape %v does not match output columns %d", bias.shape, n))
 	}
-	for i := 0; i < out.shape[0]; i++ {
-		row := out.data[i*n : (i+1)*n]
-		for j := range row {
-			row[j] += bias.data[j]
-		}
-	}
-	return out
+	matMulDispatch(dst.data, a.data, w.data, bias.data, m, k, n)
 }
 
 func elementwise2(a, b *Tensor, name string, f func(x, y float32) float32) *Tensor {
@@ -125,14 +105,39 @@ func Scale(a *Tensor, s float32) *Tensor {
 	return out
 }
 
-// AddInto accumulates src into dst in place; shapes must match.
-func AddInto(dst, src *Tensor) {
+// Accumulate adds src into dst in place (dst += src); shapes must match.
+func Accumulate(dst, src *Tensor) {
 	if !dst.SameShape(src) {
-		panic(fmt.Sprintf("tensor: AddInto shape mismatch %v vs %v", dst.shape, src.shape))
+		panic(fmt.Sprintf("tensor: Accumulate shape mismatch %v vs %v", dst.shape, src.shape))
 	}
 	for i := range dst.data {
 		dst.data[i] += src.data[i]
 	}
+}
+
+func elementwise2Into(dst, a, b *Tensor, name string, f func(x, y float32) float32) {
+	if !a.SameShape(b) || !dst.SameShape(a) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v = %v op %v", name, dst.shape, a.shape, b.shape))
+	}
+	for i := range dst.data {
+		dst.data[i] = f(a.data[i], b.data[i])
+	}
+}
+
+// AddInto computes dst = a + b element-wise. dst may alias a or b (the op is
+// purely element-local), which lets cells chain arithmetic in arena scratch.
+func AddInto(dst, a, b *Tensor) {
+	elementwise2Into(dst, a, b, "AddInto", func(x, y float32) float32 { return x + y })
+}
+
+// SubInto computes dst = a - b element-wise; dst may alias a or b.
+func SubInto(dst, a, b *Tensor) {
+	elementwise2Into(dst, a, b, "SubInto", func(x, y float32) float32 { return x - y })
+}
+
+// MulInto computes dst = a * b element-wise (Hadamard); dst may alias a or b.
+func MulInto(dst, a, b *Tensor) {
+	elementwise2Into(dst, a, b, "MulInto", func(x, y float32) float32 { return x * y })
 }
 
 // Sigmoid returns the logistic function applied element-wise.
@@ -151,6 +156,26 @@ func Tanh(a *Tensor) *Tensor {
 		out.data[i] = float32(math.Tanh(float64(v)))
 	}
 	return out
+}
+
+// SigmoidInto computes dst = sigmoid(src) element-wise; dst may alias src.
+func SigmoidInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: SigmoidInto shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	for i, v := range src.data {
+		dst.data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// TanhInto computes dst = tanh(src) element-wise; dst may alias src.
+func TanhInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: TanhInto shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	for i, v := range src.data {
+		dst.data[i] = float32(math.Tanh(float64(v)))
+	}
 }
 
 // Relu returns max(0, x) element-wise.
@@ -284,6 +309,36 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 	return out
 }
 
+// ConcatColsInto concatenates rank-2 tensors with equal row counts along
+// axis 1 into dst, fully overwriting it. dst must be rank-2 with the shared
+// row count and the summed column count, and must not alias any source. It
+// is the allocation-free form of ConcatCols used by the cell fast paths.
+func ConcatColsInto(dst *Tensor, ts ...*Tensor) {
+	if len(ts) == 0 {
+		panic("tensor: ConcatColsInto of nothing")
+	}
+	rows := ts[0].shape[0]
+	cols := 0
+	for _, t := range ts {
+		if t.Rank() != 2 {
+			panic("tensor: ConcatColsInto requires rank-2 tensors")
+		}
+		if t.shape[0] != rows {
+			panic(fmt.Sprintf("tensor: ConcatColsInto row mismatch %d vs %d", rows, t.shape[0]))
+		}
+		cols += t.shape[1]
+	}
+	checkDst(dst, "ConcatColsInto", rows, cols)
+	for i := 0; i < rows; i++ {
+		off := i * cols
+		for _, t := range ts {
+			c := t.shape[1]
+			copy(dst.data[off:off+c], t.data[i*c:(i+1)*c])
+			off += c
+		}
+	}
+}
+
 // SplitCols splits a rank-2 tensor into len(widths) tensors along axis 1.
 // The widths must sum to the column count. Used to slice the fused LSTM gate
 // pre-activations into i, f, g, o.
@@ -397,6 +452,30 @@ func GatherRowsInto(dst *Tensor, rows []*Tensor) *Tensor {
 		copy(dst.data[i*cols:(i+1)*cols], r.data)
 	}
 	return &Tensor{shape: []int{len(rows), cols}, data: dst.data[:len(rows)*cols]}
+}
+
+// FillRows copies one row from each source tensor into the rows of dst,
+// which must be exactly [len(rows), cols]. Each source must hold one row of
+// width cols (rank-1, or rank-2 [1, cols]). Unlike GatherRowsInto it returns
+// nothing and creates no view header, so a gather into an exact-fit arena
+// buffer is completely allocation-free.
+func FillRows(dst *Tensor, rows []*Tensor) {
+	if dst.Rank() != 2 {
+		panic("tensor: FillRows requires a rank-2 destination")
+	}
+	if len(rows) != dst.shape[0] {
+		panic(fmt.Sprintf("tensor: FillRows of %d rows into %d-row buffer", len(rows), dst.shape[0]))
+	}
+	cols := dst.shape[1]
+	for i, r := range rows {
+		switch {
+		case r.Rank() == 1 && r.shape[0] == cols:
+		case r.Rank() == 2 && r.shape[0] == 1 && r.shape[1] == cols:
+		default:
+			panic(fmt.Sprintf("tensor: FillRows row %d has shape %v, want one row of %d", i, r.shape, cols))
+		}
+		copy(dst.data[i*cols:(i+1)*cols], r.data)
+	}
 }
 
 // ScatterRowsInto copies row i of src into dsts[i], the inverse hand-off of

@@ -72,9 +72,28 @@ func TestElementwiseOps(t *testing.T) {
 		t.Fatalf("Scale = %v", got.Data())
 	}
 	dst := a.Clone()
-	AddInto(dst, b)
+	Accumulate(dst, b)
 	if !dst.Equal(FromSlice([]float32{5, 7, 9}, 3)) {
-		t.Fatalf("AddInto = %v", dst.Data())
+		t.Fatalf("Accumulate = %v", dst.Data())
+	}
+	out := New(3)
+	AddInto(out, a, b)
+	if !out.Equal(FromSlice([]float32{5, 7, 9}, 3)) {
+		t.Fatalf("AddInto = %v", out.Data())
+	}
+	SubInto(out, b, a)
+	if !out.Equal(FromSlice([]float32{3, 3, 3}, 3)) {
+		t.Fatalf("SubInto = %v", out.Data())
+	}
+	MulInto(out, a, b)
+	if !out.Equal(FromSlice([]float32{4, 10, 18}, 3)) {
+		t.Fatalf("MulInto = %v", out.Data())
+	}
+	// Aliasing is allowed: dst may be one of the operands.
+	alias := a.Clone()
+	MulInto(alias, alias, b)
+	if !alias.Equal(FromSlice([]float32{4, 10, 18}, 3)) {
+		t.Fatalf("MulInto aliased = %v", alias.Data())
 	}
 }
 
