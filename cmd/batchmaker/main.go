@@ -19,6 +19,11 @@
 // Run `batchmaker -demo` to start the server, drive it with a built-in
 // concurrent client, print the batching statistics, and exit — a fully
 // offline smoke of the serving path.
+//
+// Pass -metrics-addr to also serve an HTTP introspection endpoint:
+// /metrics (Prometheus text format), /debug/requests (recent request
+// timelines as JSONL), /healthz (drain/overload probe), and
+// /debug/pprof/*. See README.md "Monitoring".
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/obsv"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/server"
 	"batchmaker/internal/tensor"
@@ -201,6 +208,7 @@ func main() {
 		maxQueue = flag.Int("max-queue", 0, "max concurrently admitted requests; excess is shed with code \"overloaded\" (0 = unlimited)")
 		deadline = flag.Duration("deadline", 0, "per-request SLA; expired requests stop batching and answer code \"expired\" (0 = none)")
 		demo     = flag.Bool("demo", false, "drive the server with a built-in client and exit")
+		metrics  = flag.String("metrics-addr", "", "HTTP introspection listen address serving /metrics, /debug/requests, /healthz and /debug/pprof (empty = off)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at exit; in serve mode, send SIGINT/SIGTERM)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -236,6 +244,21 @@ func main() {
 	defer ln.Close()
 	log.Printf("batchmaker serving Seq2Seq (vocab=%d hidden=%d) on %s", *vocab, *hidden, ln.Addr())
 
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mln.Close()
+		log.Printf("introspection on http://%s (/metrics /debug/requests /healthz /debug/pprof)", mln.Addr())
+		go func() {
+			srv := &http.Server{Handler: obsv.Handler(a.srv.Observer(), a.srv.Health)}
+			if err := srv.Serve(mln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("introspection server: %v", err)
+			}
+		}()
+	}
+
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -254,6 +277,7 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("signal received; shutting down")
+		a.srv.Metrics().WriteSummary(os.Stdout)
 		return
 	}
 
@@ -266,14 +290,8 @@ func main() {
 	if err := a.srv.Drain(drainCtx); err != nil {
 		log.Printf("drain: %v", err)
 	}
+	a.srv.Metrics().WriteSummary(os.Stdout)
 	st := a.srv.Stats()
-	fmt.Printf("server stats: %d tasks, %d cells, batch histogram %v\n",
-		st.TasksRun, st.CellsRun, st.BatchSizes)
-	fmt.Printf("lifecycle: %s\n", st.Outcomes)
-	for w, ws := range st.Workers {
-		fmt.Printf("worker %d: %d tasks, queue depth %d, batch histogram %v\n",
-			w, ws.TasksRun, ws.QueueDepth, ws.BatchSizes)
-	}
 	fmt.Printf("dispatch: %d rounds, p50 %v, p99 %v\n",
 		st.DispatchRounds, st.DispatchP50, st.DispatchP99)
 	fmt.Printf("hot path: %v/cell, %.1f process allocs/task\n",

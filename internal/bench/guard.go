@@ -27,6 +27,20 @@ func (c *GuardConfig) Speedup() float64 {
 	return c.Pipelined.ReqPerSec / c.GlobalLock.ReqPerSec
 }
 
+// GuardObservability is the recorded tracing-on vs tracing-off comparison
+// of the pipelined engine (same workload, observability as the only
+// difference), in wall nanoseconds per executed cell.
+type GuardObservability struct {
+	TracingOnNsPerCell  float64 `json:"tracing_on_ns_per_cell"`
+	TracingOffNsPerCell float64 `json:"tracing_off_ns_per_cell"`
+	OverheadRatio       float64 `json:"overhead_ratio"`
+}
+
+// Ratio returns tracing-on over tracing-off ns/cell.
+func (o *GuardObservability) Ratio() float64 {
+	return o.TracingOnNsPerCell / o.TracingOffNsPerCell
+}
+
 // GuardReport is the slice of BENCH_server.json the regression guard reads.
 // Current reports carry one entry per GOMAXPROCS configuration under
 // "configs"; reports from before the multi-config schema carried a single
@@ -35,6 +49,9 @@ func (c *GuardConfig) Speedup() float64 {
 type GuardReport struct {
 	Benchmark string        `json:"benchmark"`
 	Configs   []GuardConfig `json:"configs"`
+	// Observability is the tracing-on/off overhead record; nil in reports
+	// recorded before the observability layer existed.
+	Observability *GuardObservability `json:"observability"`
 
 	// Legacy single-config fields.
 	GlobalLock       GuardEngine `json:"global_lock"`
@@ -105,6 +122,37 @@ func (r *GuardReport) CheckSpeedup(minRatio float64) error {
 					c.Label, c.SpeedupReqPerSec, s)
 			}
 		}
+	}
+	return nil
+}
+
+// CheckObservabilityOverhead fails when the recorded tracing-on run costs
+// more than maxRatio times the tracing-off run per cell. CI runs it with
+// 1.05: the observability layer must stay within 5% of the untraced
+// engine, or it is no longer cheap enough to leave on in production.
+// Reports recorded before the observability layer (section absent) are
+// skipped. The recorded ratio is cross-checked against its inputs so a
+// hand-edited report cannot disagree with itself.
+func (r *GuardReport) CheckObservabilityOverhead(maxRatio float64) error {
+	o := r.Observability
+	if o == nil {
+		return nil
+	}
+	if o.TracingOnNsPerCell <= 0 || o.TracingOffNsPerCell <= 0 {
+		return fmt.Errorf("bench: observability record has non-positive ns/cell (on=%.1f off=%.1f)",
+			o.TracingOnNsPerCell, o.TracingOffNsPerCell)
+	}
+	ratio := o.Ratio()
+	if o.OverheadRatio != 0 {
+		const tol = 1e-6
+		if d := ratio - o.OverheadRatio; d > tol || d < -tol {
+			return fmt.Errorf("bench: recorded observability overhead %.6f disagrees with its inputs (%.6f) — stale or edited report",
+				o.OverheadRatio, ratio)
+		}
+	}
+	if ratio > maxRatio {
+		return fmt.Errorf("bench: tracing-on costs %.1f ns/cell vs %.1f off (%.3fx, budget %.2fx) — the observability layer is no longer cheap",
+			o.TracingOnNsPerCell, o.TracingOffNsPerCell, ratio, maxRatio)
 	}
 	return nil
 }

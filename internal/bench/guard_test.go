@@ -15,6 +15,10 @@ import (
 // back into the serving path.
 const ciAllocBudget = 60.0
 
+// ciObsOverheadBudget bounds the observability layer's cost: tracing on at
+// default sampling must stay within 5% of the untraced engine per cell.
+const ciObsOverheadBudget = 1.05
+
 // TestBenchGuard is the CI regression gate: the checked-in BENCH_server.json
 // must show every recorded configuration's pipelined engine at or above the
 // global-lock baseline and inside the allocation budget.
@@ -33,9 +37,16 @@ func TestBenchGuard(t *testing.T) {
 	if err := r.CheckAllocs(ciAllocBudget); err != nil {
 		t.Fatalf("allocation regression: %v", err)
 	}
+	if err := r.CheckObservabilityOverhead(ciObsOverheadBudget); err != nil {
+		t.Fatalf("observability overhead regression: %v", err)
+	}
 	for _, c := range r.Configs {
 		t.Logf("%s: pipelined %.0f req/s (%.1f allocs/cell) vs global-lock %.0f req/s (%.2fx)",
 			c.Label, c.Pipelined.ReqPerSec, c.Pipelined.AllocsPerCell, c.GlobalLock.ReqPerSec, c.Speedup())
+	}
+	if o := r.Observability; o != nil {
+		t.Logf("observability: tracing on %.0f ns/cell vs off %.0f ns/cell (%.3fx)",
+			o.TracingOnNsPerCell, o.TracingOffNsPerCell, o.Ratio())
 	}
 }
 
@@ -153,6 +164,67 @@ func TestGuardChecksEveryConfig(t *testing.T) {
 	}
 	if s := r.Speedup(); s != 0.75 {
 		t.Fatalf("Speedup() = %v, want the worst config's 0.75", s)
+	}
+}
+
+func TestGuardDetectsObservabilityOverhead(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"observability": {
+			"tracing_on_ns_per_cell": 120,
+			"tracing_off_ns_per_cell": 100,
+			"overhead_ratio": 1.2
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.CheckObservabilityOverhead(1.05)
+	if err == nil {
+		t.Fatal("guard accepted a 1.2x observability overhead against a 1.05x budget")
+	}
+	if !strings.Contains(err.Error(), "1.200x") {
+		t.Fatalf("error %q does not report the measured ratio", err)
+	}
+	if err := r.CheckObservabilityOverhead(1.25); err != nil {
+		t.Fatalf("budget 1.25 must accept ratio 1.2: %v", err)
+	}
+}
+
+func TestGuardDetectsInconsistentObservabilityRecord(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"observability": {
+			"tracing_on_ns_per_cell": 101,
+			"tracing_off_ns_per_cell": 100,
+			"overhead_ratio": 0.5
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckObservabilityOverhead(1.05); err == nil {
+		t.Fatal("guard accepted an observability record whose ratio disagrees with its inputs")
+	}
+}
+
+func TestGuardObservabilitySkipsLegacyReports(t *testing.T) {
+	// A report recorded before the observability layer (section absent)
+	// must pass the overhead gate untouched.
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckObservabilityOverhead(1.05); err != nil {
+		t.Fatalf("overhead gate fired on a legacy report: %v", err)
 	}
 }
 

@@ -43,6 +43,10 @@ type LiveOptions struct {
 	MaxTasksToSubmit int
 	// Seed offsets the workload RNG (default 1).
 	Seed uint64
+	// ObsDisabled turns the pipelined engine's observability layer (span
+	// rings, metrics registry) off, for measuring its overhead. The default
+	// matches production: tracing on at default sampling.
+	ObsDisabled bool
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -82,6 +86,12 @@ type LiveResult struct {
 	// work included, so it is an end-to-end ceiling on the serving path's
 	// allocation rate.
 	AllocsPerCell float64 `json:"allocs_per_cell"`
+}
+
+// NsPerCell is the end-to-end wall time per executed cell, the unit the
+// observability-overhead comparison is recorded in.
+func (r LiveResult) NsPerCell() float64 {
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.Cells)
 }
 
 // liveWorkload is a fixed mix of LSTM chains, shared by both engines so
@@ -179,6 +189,7 @@ func RunLivePipelined(o LiveOptions) (LiveResult, error) {
 		Workers:          o.Workers,
 		MaxTasksToSubmit: o.MaxTasksToSubmit,
 		Cells:            []server.CellSpec{{Cell: w.cell, MaxBatch: 16}},
+		Obs:              server.ObsConfig{Disabled: o.ObsDisabled},
 	})
 	if err != nil {
 		return LiveResult{}, err

@@ -99,6 +99,45 @@ func recordPairs(t *testing.T, o LiveOptions, pairs int) (p, l LiveResult, ratio
 	return med.p, med.l, med.ratio
 }
 
+// recordObsPairs measures the observability layer's cost: interleaved
+// pairs of the pipelined engine with tracing on (production default) and
+// off, reported as the median pair's ns/cell ratio. Pairing, as in
+// recordPairs, keeps machine-state drift out of the comparison.
+func recordObsPairs(t *testing.T, o LiveOptions, pairs int) (on, off LiveResult, ratio float64) {
+	t.Helper()
+	type pair struct {
+		on, off LiveResult
+		ratio   float64
+	}
+	run := func(disabled bool) LiveResult {
+		oo := o
+		oo.ObsDisabled = disabled
+		r, err := RunLivePipelined(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	var ps []pair
+	for i := 0; i < pairs; i++ {
+		var pr pair
+		if i%2 == 0 {
+			pr.on = run(false)
+			pr.off = run(true)
+		} else {
+			pr.off = run(true)
+			pr.on = run(false)
+		}
+		pr.ratio = pr.on.NsPerCell() / pr.off.NsPerCell()
+		t.Logf("obs pair %d: tracing on %.0f ns/cell, off %.0f ns/cell, ratio %.3f",
+			i, pr.on.NsPerCell(), pr.off.NsPerCell(), pr.ratio)
+		ps = append(ps, pr)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ratio < ps[j].ratio })
+	med := ps[pairs/2]
+	return med.on, med.off, med.ratio
+}
+
 // TestRecordLiveBench regenerates BENCH_server.json at the repo root with
 // one config entry per GOMAXPROCS setting: serial (1) and NumCPU. On a
 // single-CPU machine the two entries are independent runs of the same
@@ -134,6 +173,8 @@ func TestRecordLiveBench(t *testing.T) {
 		t.Logf("\n%s", FormatLiveComparison(p, l))
 	}
 	runtime.GOMAXPROCS(prev)
+	t.Logf("=== observability overhead (GOMAXPROCS=%d) ===", prev)
+	obsOn, obsOff, obsRatio := recordObsPairs(t, o, pairs)
 	out := map[string]any{
 		"benchmark": "live-server-throughput",
 		"recorded":  time.Now().UTC().Format("2006-01-02"),
@@ -142,6 +183,11 @@ func TestRecordLiveBench(t *testing.T) {
 		"pairs":     pairs,
 		"options":   o,
 		"configs":   configs,
+		"observability": map[string]any{
+			"tracing_on_ns_per_cell":  obsOn.NsPerCell(),
+			"tracing_off_ns_per_cell": obsOff.NsPerCell(),
+			"overhead_ratio":          obsRatio,
+		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

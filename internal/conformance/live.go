@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"batchmaker/internal/core"
+	"batchmaker/internal/obsv"
 	"batchmaker/internal/server"
 	"batchmaker/internal/tensor"
 )
@@ -93,6 +94,10 @@ type LiveResult struct {
 	Stats      server.Stats
 	Trace      []server.Event
 	TraceTotal int
+	// Metrics is the server's observability registry handle (the same
+	// metric families a live /metrics scrape exposes), readable after the
+	// run so invariant checks can cross-validate against Stats.
+	Metrics *obsv.ServingMetrics
 	// MaxBatch echoes the run's per-type batch bound for the checker.
 	MaxBatch int
 	// SchedulerClean records whether the scheduler's queues and gauges
@@ -213,5 +218,6 @@ func RunLive(m *Model, w *Workload, opts LiveOpts) (*LiveResult, error) {
 	res.Stats = srv.Stats()
 	res.Trace, res.TraceTotal = srv.Trace()
 	res.SchedulerClean = srv.SchedulerClean()
+	res.Metrics = srv.Metrics()
 	return res, nil
 }

@@ -109,6 +109,12 @@ type Task struct {
 	TypeKey string
 	Worker  WorkerID
 	Nodes   []NodeRef
+	// DispatchedAt (unix nanoseconds) and QueueDepth (the worker's
+	// outstanding-task count at dispatch) are observability fields stamped
+	// by the serving engine just before the task is sent to its worker.
+	// The scheduler itself never reads them.
+	DispatchedAt int64
+	QueueDepth   int32
 	// subgraphs holds the distinct subgraphs contributing nodes, for
 	// pin/unpin bookkeeping at completion time.
 	subgraphs []*subgraph

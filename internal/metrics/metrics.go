@@ -12,6 +12,14 @@ import (
 
 // Recorder accumulates duration samples and answers percentile queries.
 // The zero value is ready to use.
+//
+// Ownership: a Recorder is NOT safe for concurrent use — Add mutates the
+// sample slice and even read-only-looking queries (Percentile, Max, CDF)
+// sort it in place. It is owned by a single goroutine at a time: the sim
+// harness and bench drivers fill recorders while running and only query
+// them after the run joins. Anything that needs quantiles concurrently
+// with ingestion (the live server's metrics registry) must use Window,
+// which carries its own lock, instead.
 type Recorder struct {
 	samples []time.Duration
 	sorted  bool

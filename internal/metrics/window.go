@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -11,12 +12,18 @@ import (
 // unlike Recorder it never grows past its capacity, so a long-running server
 // can feed it on every scheduler dispatch without leaking. Percentiles are
 // answered over the retained window (the most recent samples); Count reports
-// the total ever observed. The zero value is unusable — use NewWindow.
+// the total ever observed. Unlike Recorder (which is single-goroutine by
+// contract), Window carries its own lock: Add and the query methods are safe
+// to call concurrently — the metrics registry reads quantiles from scrape
+// handlers while workers keep observing. The zero value is unusable — use
+// NewWindow.
 type Window struct {
+	mu    sync.Mutex
 	buf   []time.Duration
 	next  int
-	n     int // retained samples, <= len(buf)
-	total int // samples ever observed
+	n     int           // retained samples, <= len(buf)
+	total int           // samples ever observed
+	sum   time.Duration // sum of samples ever observed
 }
 
 // NewWindow returns a ring retaining the most recent capacity samples.
@@ -29,41 +36,63 @@ func NewWindow(capacity int) *Window {
 
 // Add records one sample, evicting the oldest when the window is full.
 func (w *Window) Add(d time.Duration) {
+	w.mu.Lock()
 	w.buf[w.next] = d
 	w.next = (w.next + 1) % len(w.buf)
 	if w.n < len(w.buf) {
 		w.n++
 	}
 	w.total++
+	w.sum += d
+	w.mu.Unlock()
 }
 
 // Count returns the number of samples ever observed (not just retained).
-func (w *Window) Count() int { return w.total }
+func (w *Window) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Sum returns the sum of all samples ever observed (not just retained) —
+// the _sum of a Prometheus summary.
+func (w *Window) Sum() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sum
+}
 
 // Percentile returns the p-th percentile (0 < p <= 100, nearest-rank) over
 // the retained window, or 0 with no samples.
 func (w *Window) Percentile(p float64) time.Duration {
-	if w.n == 0 {
-		return 0
-	}
 	if p <= 0 || p > 100 {
 		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
 	}
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return 0
+	}
 	sorted := make([]time.Duration, w.n)
 	copy(sorted, w.buf[:w.n])
+	n := w.n
+	w.mu.Unlock()
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(p / 100 * float64(w.n)))
+	rank := int(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > w.n {
-		rank = w.n
+	if rank > n {
+		rank = n
 	}
 	return sorted[rank-1]
 }
 
 // P50 returns the median of the retained window.
 func (w *Window) P50() time.Duration { return w.Percentile(50) }
+
+// P90 returns the 90th percentile of the retained window.
+func (w *Window) P90() time.Duration { return w.Percentile(90) }
 
 // P99 returns the 99th percentile of the retained window.
 func (w *Window) P99() time.Duration { return w.Percentile(99) }

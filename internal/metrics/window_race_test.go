@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWindowConcurrentAddQuery is the regression test for the PR-5 bugfix:
+// the live server's metrics registry answers quantile scrapes while the
+// request processor keeps feeding the window. Before Window carried its own
+// lock this was a data race (Percentile copied buf while Add rewrote it)
+// that -race flags and that could return garbage ranks. The test hammers
+// Add against Percentile/Sum/Count from several goroutines; correctness of
+// the returned quantile is also sanity-bounded since all samples share one
+// known range.
+func TestWindowConcurrentAddQuery(t *testing.T) {
+	w := NewWindow(256)
+	const writers, perWriter = 4, 5000
+	lo, hi := time.Millisecond, 100*time.Millisecond
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				d := lo + time.Duration(uint64(seed*perWriter+i)%100)*time.Millisecond
+				w.Add(d)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	for {
+		select {
+		case <-done:
+			if got := w.Count(); got != writers*perWriter {
+				t.Fatalf("count: got %d want %d", got, writers*perWriter)
+			}
+			if w.Sum() <= 0 {
+				t.Fatalf("sum: got %v", w.Sum())
+			}
+			return
+		default:
+		}
+		for _, p := range []float64{50, 90, 99} {
+			if v := w.Percentile(p); v != 0 && (v < lo || v > hi) {
+				t.Fatalf("p%v = %v outside sample range [%v, %v]", p, v, lo, hi)
+			}
+		}
+		w.Sum()
+		w.Count()
+	}
+}
+
+func TestWindowSum(t *testing.T) {
+	w := NewWindow(2)
+	if w.Sum() != 0 {
+		t.Fatal("empty window sum should be 0")
+	}
+	w.Add(time.Second)
+	w.Add(2 * time.Second)
+	w.Add(3 * time.Second) // evicts the first sample from the window…
+	if got := w.Sum(); got != 6*time.Second {
+		t.Fatalf("…but Sum is all-time: got %v want 6s", got)
+	}
+	if got := w.P99(); got != 3*time.Second {
+		t.Fatalf("p99 over retained window: got %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// TimelineEvent is one step in a request's reconstructed history.
+type TimelineEvent struct {
+	Kind string `json:"kind"`
+	// T is the event time in unix nanoseconds.
+	T int64 `json:"t_unix_ns"`
+	// SinceAdmitNs is T relative to the request's admit record (omitted
+	// when the admit record was not retained).
+	SinceAdmitNs int64 `json:"since_admit_ns,omitempty"`
+}
+
+// Timeline is one request's reconstructed admit→…→terminal history,
+// rebuilt from the lifecycle records retained in the span rings.
+type Timeline struct {
+	Req    int64           `json:"req"`
+	Events []TimelineEvent `json:"events"`
+	// Outcome is the terminal event's kind ("" while still in flight or if
+	// the terminal record was overwritten).
+	Outcome string `json:"outcome,omitempty"`
+	// QueuingNs / ComputationNs are the paper's latency split, present
+	// when the admit, first-exec, and terminal records were all retained.
+	QueuingNs     int64 `json:"queuing_ns,omitempty"`
+	ComputationNs int64 `json:"computation_ns,omitempty"`
+}
+
+func isTerminal(k Kind) bool {
+	switch k {
+	case KindComplete, KindFail, KindExpire, KindCancel:
+		return true
+	}
+	return false
+}
+
+// Timelines reconstructs per-request timelines from the observer's rings,
+// most recently admitted first, at most limit requests (<=0 means all
+// retained). Only lifecycle records participate; span records (dispatch,
+// task exec) describe batches spanning many requests and are exposed via
+// metrics instead.
+func (o *Observer) Timelines(limit int) []*Timeline {
+	byReq := make(map[int64]*Timeline)
+	var order []int64
+	for _, rec := range o.Snapshot() {
+		switch rec.Kind {
+		case KindAdmit, KindFirstExec, KindComplete, KindFail, KindExpire, KindCancel:
+		default:
+			continue
+		}
+		if rec.Req == 0 {
+			continue
+		}
+		tl := byReq[rec.Req]
+		if tl == nil {
+			tl = &Timeline{Req: rec.Req}
+			byReq[rec.Req] = tl
+			order = append(order, rec.Req)
+		}
+		tl.Events = append(tl.Events, TimelineEvent{Kind: rec.Kind.String(), T: rec.T0})
+		if isTerminal(rec.Kind) {
+			tl.Outcome = rec.Kind.String()
+		}
+	}
+	for _, tl := range byReq {
+		sort.SliceStable(tl.Events, func(i, j int) bool { return tl.Events[i].T < tl.Events[j].T })
+		var admit, firstExec, terminal int64
+		for i := range tl.Events {
+			e := &tl.Events[i]
+			switch e.Kind {
+			case KindAdmit.String():
+				if admit == 0 {
+					admit = e.T
+				}
+			case KindFirstExec.String():
+				if firstExec == 0 {
+					firstExec = e.T
+				}
+			default:
+				terminal = e.T
+			}
+			if admit != 0 {
+				e.SinceAdmitNs = e.T - admit
+			}
+		}
+		if admit != 0 && firstExec != 0 {
+			tl.QueuingNs = firstExec - admit
+			if terminal != 0 {
+				tl.ComputationNs = terminal - firstExec
+			}
+		}
+	}
+	// Most recently admitted first: order holds first-seen order of the
+	// time-sorted snapshot, so reversing it puts newest requests first.
+	sort.SliceStable(order, func(i, j int) bool {
+		return firstEventT(byReq[order[i]]) > firstEventT(byReq[order[j]])
+	})
+	if limit > 0 && len(order) > limit {
+		order = order[:limit]
+	}
+	out := make([]*Timeline, len(order))
+	for i, id := range order {
+		out[i] = byReq[id]
+	}
+	return out
+}
+
+func firstEventT(tl *Timeline) int64 {
+	if len(tl.Events) == 0 {
+		return 0
+	}
+	return tl.Events[0].T
+}
+
+// WriteRequestsJSONL renders up to limit reconstructed request timelines
+// as one JSON object per line (newest request first).
+func (o *Observer) WriteRequestsJSONL(w io.Writer, limit int) error {
+	enc := json.NewEncoder(w)
+	for _, tl := range o.Timelines(limit) {
+		if err := enc.Encode(tl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+package server
+
+import (
+	"time"
+
+	"batchmaker/internal/core"
+	"batchmaker/internal/obsv"
+)
+
+// ObsConfig configures the server's observability layer (Config.Obs).
+type ObsConfig struct {
+	// Registry receives the server's metric families. nil means the server
+	// creates a private registry (retrievable via Server.Observer) so
+	// metrics and summaries work without any wiring.
+	Registry *obsv.Registry
+	// RingCapacity sizes each per-writer span ring (0 means
+	// obsv.DefaultRingCapacity; negative disables span rings but keeps
+	// metrics).
+	RingCapacity int
+	// Sample is the span sampling interval: 0 or 1 records every span
+	// record, n>1 every nth, negative disables span records. Request
+	// lifecycle records always bypass sampling.
+	Sample int
+	// Disabled turns the whole layer off: no observer, no rings, no
+	// metric updates. Used by the tracing-off arm of the overhead
+	// benchmark.
+	Disabled bool
+}
+
+// obsType caches one cell type's per-type observability handles so the
+// worker hot path pays one map lookup, no lock, no allocation.
+type obsType struct {
+	id       uint16
+	maxBatch int64
+	tm       *obsv.TypeMetrics
+}
+
+// serverObs bridges the pipeline stages to the obsv layer. All methods are
+// nil-receiver safe no-ops, so instrumented code never branches on whether
+// observability is enabled. Ring ownership follows the goroutine structure:
+// the request processor writes rpRing, the scheduler loop writes schedRing,
+// and worker i writes workerRings[i].
+type serverObs struct {
+	o  *obsv.Observer
+	sm *obsv.ServingMetrics
+
+	rpRing      *obsv.Ring
+	schedRing   *obsv.Ring
+	workerRings []*obsv.Ring
+	workers     []*obsv.WorkerMetrics
+
+	// types is read-only after construction; worker goroutines look their
+	// type up per task.
+	types map[string]*obsType
+}
+
+// newServerObs builds the observability bridge for a server with the given
+// cell specs and worker count. Returns nil when cfg.Disabled — the nil
+// *serverObs is the "off" implementation.
+func newServerObs(cfg ObsConfig, specs []CellSpec, workers int) *serverObs {
+	if cfg.Disabled {
+		return nil
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	ringCap := cfg.RingCapacity
+	rings := ringCap >= 0
+	o := obsv.NewObserver(reg, ringCap, cfg.Sample)
+	ob := &serverObs{
+		o:     o,
+		sm:    o.Metrics,
+		types: make(map[string]*obsType, len(specs)),
+	}
+	if rings {
+		ob.rpRing = o.NewRing("rp")
+		ob.schedRing = o.NewRing("sched")
+		ob.workerRings = make([]*obsv.Ring, workers)
+		for w := range ob.workerRings {
+			ob.workerRings[w] = o.NewRing("worker-" + itoa(w))
+		}
+	} else {
+		ob.workerRings = make([]*obsv.Ring, workers)
+	}
+	ob.workers = make([]*obsv.WorkerMetrics, workers)
+	for w := range ob.workers {
+		ob.workers[w] = o.Metrics.Worker(w)
+	}
+	for _, cs := range specs {
+		key := cs.Cell.TypeKey()
+		ob.types[key] = &obsType{
+			id:       o.InternType(key),
+			maxBatch: int64(cs.MaxBatch),
+			tm:       o.Metrics.Type(key),
+		}
+	}
+	return ob
+}
+
+func itoa(v int) string {
+	// strconv-free so obs construction stays dependency-light in tests.
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// ---- request processor (single writer of rpRing) ----
+
+// admit records one admission: outcome counter, gauges, lifecycle record.
+func (ob *serverObs) admit(id core.RequestID, nowNs int64, liveReqs, queuedCells int) {
+	if ob == nil {
+		return
+	}
+	ob.sm.Admitted.Inc()
+	ob.sm.Inflight.Set(int64(liveReqs))
+	ob.sm.QueuedCells.Set(int64(queuedCells))
+	ob.rpRing.Write(obsv.Record{Kind: obsv.KindAdmit, Req: int64(id), T0: nowNs})
+}
+
+// reject records one shed submission. fromRP distinguishes the request
+// processor (which owns rpRing and may write the lifecycle record) from
+// caller-goroutine sheds (DOA deadlines), which only bump the counter —
+// the ring is single-writer.
+func (ob *serverObs) reject(fromRP bool) {
+	if ob == nil {
+		return
+	}
+	ob.sm.Rejected.Inc()
+	if fromRP {
+		ob.rpRing.Write(obsv.Record{Kind: obsv.KindReject, T0: time.Now().UnixNano()})
+	}
+}
+
+// terminal records a request reaching its terminal state. For completions
+// it also observes the paper's queuing/computation latency split, using the
+// admit timestamp and the worker-CAS'd first-execution timestamp.
+func (ob *serverObs) terminal(r *request, kind obsv.Kind, nowNs int64) {
+	if ob == nil {
+		return
+	}
+	switch kind {
+	case obsv.KindComplete:
+		ob.sm.Completed.Inc()
+	case obsv.KindFail:
+		ob.sm.Failed.Inc()
+	case obsv.KindExpire:
+		ob.sm.Expired.Inc()
+	case obsv.KindCancel:
+		ob.sm.Cancelled.Inc()
+	}
+	if kind == obsv.KindComplete {
+		if first := r.firstExecNs.Load(); first > 0 && r.admittedNs > 0 {
+			ob.sm.ObserveLatencySplit(
+				time.Duration(first-r.admittedNs),
+				time.Duration(nowNs-first))
+		}
+	}
+	ob.rpRing.Write(obsv.Record{Kind: kind, Req: int64(r.id), T0: nowNs})
+}
+
+// gauges refreshes the request-processor-owned backlog gauges.
+func (ob *serverObs) gauges(liveReqs, queuedCells int) {
+	if ob == nil {
+		return
+	}
+	ob.sm.Inflight.Set(int64(liveReqs))
+	ob.sm.QueuedCells.Set(int64(queuedCells))
+}
+
+// ---- scheduler loop (single writer of schedRing) ----
+
+// dispatch stamps the task's observability fields and records the dispatch
+// span (sampled). Called just before the task is sent to its worker.
+func (ob *serverObs) dispatch(task *core.Task, queueDepth int, nowNs int64) {
+	task.DispatchedAt = nowNs
+	task.QueueDepth = int32(queueDepth)
+	if ob == nil {
+		return
+	}
+	if ob.o.SampleSpan(ob.schedRing) {
+		ot := ob.types[task.TypeKey]
+		var typeID uint16
+		if ot != nil {
+			typeID = ot.id
+		}
+		ob.schedRing.Write(obsv.Record{
+			Kind:   obsv.KindDispatch,
+			Worker: uint8(task.Worker),
+			Type:   typeID,
+			Batch:  uint16(task.BatchSize()),
+			Queue:  uint16(queueDepth),
+			T0:     nowNs,
+		})
+	}
+}
+
+// mirrorScheduler refreshes the per-type ready-queue and per-worker depth
+// gauges from the scheduler loop's state.
+func (ob *serverObs) mirrorScheduler(sched *core.Scheduler, outstanding []int) {
+	if ob == nil {
+		return
+	}
+	for key, ot := range ob.types {
+		ot.tm.Ready.Set(int64(sched.ReadyNodes(key)))
+	}
+	for w, d := range outstanding {
+		ob.workers[w].Depth.Set(int64(d))
+	}
+}
+
+// ---- workers (worker i is the single writer of workerRings[i]) ----
+
+// firstExec marks each request's first executed cell (CAS so exactly one
+// worker wins) and writes the lifecycle record for winners. Runs on the
+// worker hot path: in steady state every CAS fails fast on the first load
+// and nothing is written.
+func (ob *serverObs) firstExec(workerID int, refs []execRef, nowNs int64) {
+	if ob == nil {
+		return
+	}
+	for _, ref := range refs {
+		if ref.req.firstExecNs.Load() == 0 && ref.req.firstExecNs.CompareAndSwap(0, nowNs) {
+			ob.workerRings[workerID].Write(obsv.Record{
+				Kind:   obsv.KindFirstExec,
+				Worker: uint8(workerID),
+				Req:    int64(ref.req.id),
+				T0:     nowNs,
+			})
+		}
+	}
+}
+
+// taskExec records one executed batched task: occupancy/padding counters,
+// per-type totals, arena high-water, and the sampled task span carrying
+// dispatch→completion timestamps and queue depth at dispatch.
+func (ob *serverObs) taskExec(workerID int, task *core.Task, live int, arenaHighWaterBytes int64, endNs int64) {
+	if ob == nil {
+		return
+	}
+	ot := ob.types[task.TypeKey]
+	if ot != nil {
+		ot.tm.Tasks.Inc()
+		ot.tm.Cells.Add(int64(live))
+		ob.sm.SlotsCap.Add(ot.maxBatch)
+	}
+	ob.sm.SlotsUsed.Add(int64(live))
+	ob.sm.BatchOccupancy.Observe(int64(live))
+	ob.workers[workerID].ArenaHighWater.Max(arenaHighWaterBytes)
+	ring := ob.workerRings[workerID]
+	if ob.o.SampleSpan(ring) {
+		var typeID uint16
+		if ot != nil {
+			typeID = ot.id
+		}
+		ring.Write(obsv.Record{
+			Kind:   obsv.KindTaskExec,
+			Worker: uint8(workerID),
+			Type:   typeID,
+			Batch:  uint16(live),
+			Queue:  uint16(task.QueueDepth),
+			T0:     task.DispatchedAt,
+			T1:     endNs,
+		})
+	}
+}
+
+// retry records one transient-error retry on the worker's ring (sampled).
+func (ob *serverObs) retry(task *core.Task, batch int) {
+	if ob == nil {
+		return
+	}
+	ob.sm.Retries.Inc()
+	w := int(task.Worker)
+	ring := ob.workerRings[w]
+	if ob.o.SampleSpan(ring) {
+		ob.writeSpan(ring, obsv.KindRetry, w, task.TypeKey, batch)
+	}
+}
+
+// cellPanic records one recovered cell panic on the worker's ring (sampled).
+func (ob *serverObs) cellPanic(task *core.Task, batch int) {
+	if ob == nil {
+		return
+	}
+	ob.sm.Panics.Inc()
+	w := int(task.Worker)
+	ring := ob.workerRings[w]
+	if ob.o.SampleSpan(ring) {
+		ob.writeSpan(ring, obsv.KindPanic, w, task.TypeKey, batch)
+	}
+}
+
+func (ob *serverObs) writeSpan(ring *obsv.Ring, kind obsv.Kind, worker int, typeKey string, batch int) {
+	var typeID uint16
+	if ot := ob.types[typeKey]; ot != nil {
+		typeID = ot.id
+	}
+	ring.Write(obsv.Record{
+		Kind:   kind,
+		Worker: uint8(worker),
+		Type:   typeID,
+		Batch:  uint16(batch),
+		T0:     time.Now().UnixNano(),
+	})
+}
+
+// ---- public accessors ----
+
+// Observer returns the server's span/metrics observer, or nil when
+// observability is disabled. The observer backs the HTTP introspection
+// endpoints (obsv.Handler) and summaries.
+func (s *Server) Observer() *obsv.Observer {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.o
+}
+
+// Metrics returns the server's serving-metric handles, or nil when
+// observability is disabled.
+func (s *Server) Metrics() *obsv.ServingMetrics {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.sm
+}
+
+// Health reports the server's drain/overload state for /healthz probes.
+func (s *Server) Health() obsv.Health {
+	stopped := false
+	select {
+	case <-s.stopdCh:
+		stopped = true
+	default:
+	}
+	s.statsMu.Lock()
+	live, queued := s.liveRequests, s.queuedCells
+	s.statsMu.Unlock()
+	overloaded := false
+	if n := s.cfg.MaxQueuedRequests; n > 0 && live >= n {
+		overloaded = true
+	}
+	if n := s.cfg.MaxQueuedCells; n > 0 && queued >= n {
+		overloaded = true
+	}
+	h := obsv.Health{
+		Draining:     s.draining.Load(),
+		Stopped:      stopped,
+		Overloaded:   overloaded,
+		LiveRequests: live,
+		QueuedCells:  queued,
+	}
+	switch {
+	case stopped:
+		h.Status = "stopped"
+	case h.Draining:
+		h.Status = "draining"
+	case overloaded:
+		h.Status = "overloaded"
+	default:
+		h.Status = "serving"
+	}
+	return h
+}

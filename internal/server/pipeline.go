@@ -8,6 +8,7 @@ import (
 
 	"batchmaker/internal/cellgraph"
 	"batchmaker/internal/core"
+	"batchmaker/internal/obsv"
 )
 
 // Stage hand-off records. The request processor receives commands from
@@ -162,6 +163,7 @@ func (rp *rpState) admit(cmd admitCmd) error {
 		rp.reject()
 		return fmt.Errorf("%w: %d cells queued, request adds %d (max %d)", ErrOverloaded, rp.queuedCells, r.cells, n)
 	}
+	r.admittedNs = time.Now().UnixNano()
 	rp.reqs[r.id] = r
 	s.liveMu.Lock()
 	s.live[r.id] = r
@@ -186,6 +188,7 @@ func (rp *rpState) admit(cmd admitCmd) error {
 	s.outcomes.Admitted++
 	s.trace.add(Event{At: time.Now(), Kind: EventAdmit, Req: r.id})
 	s.statsMu.Unlock()
+	s.obs.admit(r.id, r.admittedNs, len(rp.reqs), rp.queuedCells)
 	return nil
 }
 
@@ -198,14 +201,21 @@ func (rp *rpState) addSubgraphs(id core.RequestID, specs []core.SubgraphSpec) er
 	return <-reply
 }
 
-// reject records one shed submission.
-func (rp *rpState) reject() { rp.s.reject() }
+// reject records one shed submission on the request processor's goroutine
+// (which owns the rp span ring).
+func (rp *rpState) reject() { rp.s.rejectFrom(true) }
 
-func (s *Server) reject() {
+// reject records a shed submission from a caller goroutine (the
+// dead-on-arrival deadline path); counters only — the rp ring is
+// single-writer.
+func (s *Server) reject() { s.rejectFrom(false) }
+
+func (s *Server) rejectFrom(rpGoroutine bool) {
 	s.statsMu.Lock()
 	s.outcomes.Rejected++
 	s.trace.add(Event{At: time.Now(), Kind: EventReject})
 	s.statsMu.Unlock()
+	s.obs.reject(rpGoroutine)
 }
 
 // terminate resolves a live request early with ErrCancelled or ErrExpired.
@@ -216,15 +226,18 @@ func (rp *rpState) terminate(r *request, cause error) bool {
 	s := rp.s
 	s.slCmds <- slCmd{kind: slCancel, req: r.id}
 	kind := EventCancel
+	obsKind := obsv.KindCancel
 	s.statsMu.Lock()
 	if errors.Is(cause, ErrExpired) {
 		kind = EventExpire
+		obsKind = obsv.KindExpire
 		s.outcomes.Expired++
 	} else {
 		s.outcomes.Cancelled++
 	}
 	s.trace.add(Event{At: time.Now(), Kind: kind, Req: r.id})
 	s.statsMu.Unlock()
+	s.obs.terminal(r, obsKind, time.Now().UnixNano())
 	rp.resolve(r, cause)
 	return true
 }
@@ -256,6 +269,7 @@ func (rp *rpState) complete(rec completion) {
 		s.statsMu.Lock()
 		s.queuedCells = rp.queuedCells
 		s.statsMu.Unlock()
+		s.obs.gauges(len(rp.reqs), rp.queuedCells)
 		if len(released) > 0 {
 			if err := rp.addSubgraphs(r.id, released); err != nil {
 				rp.fail(r, err)
@@ -272,6 +286,7 @@ func (rp *rpState) complete(rec completion) {
 			s.outcomes.Completed++
 			s.trace.add(Event{At: time.Now(), Kind: EventComplete, Req: r.id})
 			s.statsMu.Unlock()
+			s.obs.terminal(r, obsv.KindComplete, time.Now().UnixNano())
 			rp.resolve(r, nil)
 		}
 	}
@@ -292,6 +307,7 @@ func (rp *rpState) fail(r *request, err error) {
 	s.outcomes.Failed++
 	s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
 	s.statsMu.Unlock()
+	s.obs.terminal(r, obsv.KindFail, time.Now().UnixNano())
 	rp.resolve(r, err)
 }
 
@@ -310,6 +326,7 @@ func (rp *rpState) expireDue() {
 		s.outcomes.Expired++
 		s.trace.add(Event{At: time.Now(), Kind: EventExpire, Req: r.id})
 		s.statsMu.Unlock()
+		s.obs.terminal(r, obsv.KindExpire, time.Now().UnixNano())
 		rp.resolve(r, fmt.Errorf("%w: deadline %v passed", ErrExpired, r.deadline.Format(time.RFC3339Nano)))
 	}
 }
@@ -350,6 +367,7 @@ func (rp *rpState) resolve(r *request, err error) {
 	s.queuedCells = rp.queuedCells
 	s.liveRequests = len(rp.reqs)
 	s.statsMu.Unlock()
+	s.obs.gauges(len(rp.reqs), rp.queuedCells)
 	rp.maybeDrained()
 }
 
@@ -361,6 +379,7 @@ func (rp *rpState) drain() {
 	}
 	rp.draining = true
 	s := rp.s
+	s.draining.Store(true)
 	s.statsMu.Lock()
 	s.trace.add(Event{At: time.Now(), Kind: EventDrain})
 	s.statsMu.Unlock()
@@ -398,6 +417,7 @@ func (rp *rpState) stop() {
 		s.outcomes.Failed++
 		s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
 		s.statsMu.Unlock()
+		s.obs.terminal(r, obsv.KindFail, time.Now().UnixNano())
 		rp.resolve(r, ErrStopped)
 	}
 	rp.maybeDrained()

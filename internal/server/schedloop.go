@@ -69,9 +69,10 @@ func (s *Server) schedulerLoop(sched *core.Scheduler, mts, depth int) {
 					continue
 				}
 				for _, t := range tasks {
+					s.obs.dispatch(t, outstanding[w], start.UnixNano())
 					s.taskChans[w] <- t
+					outstanding[w]++
 				}
-				outstanding[w] += len(tasks)
 				progress = true
 				s.statsMu.Lock()
 				s.dispatchRounds++
@@ -92,6 +93,7 @@ func (s *Server) schedulerLoop(sched *core.Scheduler, mts, depth int) {
 		s.schedReady = sched.TotalReady()
 		copy(s.workerDepth, outstanding)
 		s.statsMu.Unlock()
+		s.obs.mirrorScheduler(sched, outstanding)
 	}
 
 	total := func() int {

@@ -113,6 +113,10 @@ type Config struct {
 	// TraceCapacity, when positive, enables execution tracing with a ring
 	// buffer of that many events (see Trace).
 	TraceCapacity int
+	// Obs configures the observability layer: metric registry, span rings,
+	// and sampling (see ObsConfig). The zero value enables it with a
+	// private registry and default ring capacity.
+	Obs ObsConfig
 
 	// MaxQueuedRequests, when positive, bounds live (admitted, unresolved)
 	// requests; submissions past the bound are shed with ErrOverloaded.
@@ -160,6 +164,14 @@ type request struct {
 	// processor's timer and re-checked at task gather time).
 	deadline time.Time
 
+	// admittedNs is the admission timestamp (unix nanoseconds), written by
+	// the request processor before the request becomes worker-visible.
+	admittedNs int64
+	// firstExecNs is CAS'd from 0 by the first worker to execute any of the
+	// request's cells; admit→firstExec→complete is the paper's
+	// queuing/computation latency split.
+	firstExecNs atomic.Int64
+
 	// resolved is set by the request processor when the request reaches its
 	// terminal state; workers use it to skip rows of dead requests.
 	resolved atomic.Bool
@@ -203,6 +215,11 @@ type Server struct {
 
 	nextID atomic.Int64
 	wg     sync.WaitGroup
+
+	// obs is the observability bridge (nil when Config.Obs.Disabled);
+	// draining mirrors the request processor's drain state for Health.
+	obs      *serverObs
+	draining atomic.Bool
 
 	// live is the worker-visible request lookup. The request processor is
 	// the only writer (under liveMu); workers read under RLock.
@@ -307,6 +324,13 @@ func New(cfg Config) (*Server, error) {
 		workerBatches: make([]map[int]int, cfg.Workers),
 		workerDepth:   make([]int, cfg.Workers),
 		dispatchLat:   metrics.NewWindow(4096),
+		obs:           newServerObs(cfg.Obs, cfg.Cells, cfg.Workers),
+	}
+	if s.obs != nil {
+		// Refresh the trace ring's drop-oldest counter at exposition time.
+		s.obs.sm.Registry().AddCollector(func() {
+			s.obs.sm.TraceDropped.Set(int64(s.TraceDropped()))
+		})
 	}
 	for w := range s.taskChans {
 		s.taskChans[w] = make(chan *core.Task, depth)

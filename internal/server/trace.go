@@ -128,6 +128,14 @@ func (t *traceRing) add(e Event) {
 	t.next = (t.next + 1) % cap(t.buf)
 }
 
+// dropped returns how many events were overwritten before being retained.
+func (t *traceRing) dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.total - len(t.buf)
+}
+
 // snapshot returns events oldest-first.
 func (t *traceRing) snapshot() []Event {
 	if t == nil {
@@ -153,4 +161,15 @@ func (s *Server) Trace() ([]Event, int) {
 		return nil, 0
 	}
 	return s.trace.snapshot(), s.trace.total
+}
+
+// TraceDropped returns how many trace events the bounded ring overwrote
+// before they could be observed (0 when tracing is disabled or the ring
+// never filled). A growing value on a long serve-mode run is expected —
+// the ring bounds memory by design — but it tells a reader of Trace()
+// that the window is partial.
+func (s *Server) TraceDropped() int {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.trace.dropped()
 }

@@ -158,6 +158,10 @@ func (s *Server) execTask(id int, task *core.Task, ws *workerExec) completion {
 		return completion{worker: id, task: task}
 	}
 
+	// The batch is now final: mark each surviving request's first execution
+	// (the queuing→computation boundary of the paper's latency split).
+	s.obs.firstExec(id, refs, now.UnixNano())
+
 	// Gather: assemble contiguous batched inputs from scattered per-request
 	// rows (the memory-copy step of §4.3) into exact-fit arena buffers. Row
 	// pointers are read under each request's state lock; the copies happen
@@ -202,6 +206,8 @@ func (s *Server) execTask(id int, task *core.Task, ws *workerExec) completion {
 		Nodes: traceRefs,
 	})
 	s.statsMu.Unlock()
+	s.obs.taskExec(id, task, len(refs),
+		4*int64(ws.arena.HighWater()), now.UnixNano()+int64(elapsed))
 
 	if stepErr != nil {
 		// Poison before the failure record is enqueued: successor tasks
@@ -258,6 +264,7 @@ func (s *Server) runStep(te *typeExec, task *core.Task, batch int, arena *tensor
 			Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
 		})
 		s.statsMu.Unlock()
+		s.obs.retry(task, batch)
 		time.Sleep(backoff)
 		backoff *= 2
 	}
@@ -279,6 +286,7 @@ func (s *Server) stepOnce(te *typeExec, task *core.Task, batch int, arena *tenso
 				Worker: task.Worker, TypeKey: task.TypeKey, Batch: batch,
 			})
 			s.statsMu.Unlock()
+			s.obs.cellPanic(task, batch)
 			err = fmt.Errorf("%w: %s: %v", ErrCellPanic, te.cell.Name(), p)
 			outs = nil
 		}

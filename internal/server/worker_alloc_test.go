@@ -30,6 +30,10 @@ func workerAllocFixture(tb testing.TB, reqN, chainN int) (*Server, []*core.Task,
 		quarantined:   make(map[string]int),
 		workerTasks:   make([]int, 1),
 		workerBatches: []map[int]int{make(map[int]int)},
+		// Event tracing ON at default sampling: the zero-alloc gate must
+		// hold with the full observability layer live, exactly as New()
+		// builds it.
+		obs: newServerObs(ObsConfig{}, []CellSpec{{Cell: lstm, MaxBatch: reqN}}, 1),
 	}
 	tasks := make([]*core.Task, chainN)
 	for i := range tasks {

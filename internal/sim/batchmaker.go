@@ -8,6 +8,7 @@ import (
 	"batchmaker/internal/dataset"
 	"batchmaker/internal/device"
 	"batchmaker/internal/metrics"
+	"batchmaker/internal/obsv"
 )
 
 // BatchMakerConfig configures the cellular-batching serving simulation
@@ -21,6 +22,12 @@ type BatchMakerConfig struct {
 	// when a request's execution migrates between GPUs. At hidden 1024 and
 	// float32, h+c is 8 KiB.
 	StateBytes int
+	// Metrics, when set, receives the same metric families the live server
+	// publishes (outcome counters, batch occupancy, slot accounting, the
+	// queuing/computation latency split, ready-queue depth per cell type),
+	// so a virtual-time run can be scraped or summarized exactly like a
+	// real one. Nil disables the hook.
+	Metrics *obsv.ServingMetrics
 }
 
 // DefaultStateBytes is h+c at hidden 1024, float32.
@@ -49,6 +56,15 @@ type batchMakerSim struct {
 	nextID   core.RequestID
 	col      *collector
 	admitted int
+	// obsTypes caches per-cell-type metric handles plus the type's batch
+	// capacity (for slot accounting); nil when cfg.Metrics is nil.
+	obsTypes map[string]*bmObsType
+}
+
+// bmObsType is one cell type's cached metric handles for the sim hook.
+type bmObsType struct {
+	tm       *obsv.TypeMetrics
+	maxBatch int64
 }
 
 // RunBatchMaker simulates BatchMaker serving the workload at one load point
@@ -83,6 +99,12 @@ func RunBatchMaker(cfg BatchMakerConfig, wl Workload, run RunConfig) (*metrics.R
 	}
 	for i := range s.gpus {
 		s.gpus[i] = &device.GPU{ID: i}
+	}
+	if cfg.Metrics != nil {
+		s.obsTypes = make(map[string]*bmObsType)
+		for _, tc := range cfg.Model.Types() {
+			s.obsTypes[tc.Key] = &bmObsType{tm: cfg.Metrics.Type(tc.Key), maxBatch: int64(tc.MaxBatch)}
+		}
 	}
 	arrivals := dataset.NewPoisson(run.Seed, run.RatePerSec)
 	s.scheduleArrival(arrivals, time.Duration(arrivals.NextGapNanos()))
@@ -123,6 +145,10 @@ func (s *batchMakerSim) admit() {
 	req := &bmRequest{id: id, tracker: tr, arrival: s.eng.Now(), lastWorker: core.NoWorker}
 	s.reqs[id] = req
 	s.admitted++
+	if m := s.cfg.Metrics; m != nil {
+		m.Admitted.Inc()
+		m.Inflight.Set(int64(len(s.reqs)))
+	}
 	for _, spec := range tr.InitialSubgraphs() {
 		if _, err := s.sched.AddSubgraph(spec); err != nil {
 			panic(fmt.Sprintf("sim: add subgraph: %v", err))
@@ -164,6 +190,15 @@ func (s *batchMakerSim) scheduleWorker(w core.WorkerID) {
 		}
 		s.col.res.AddExtra("tasks", 1)
 		s.col.res.AddExtra("batched_cells", float64(task.BatchSize()))
+		if ot := s.obsTypes[task.TypeKey]; ot != nil {
+			m := s.cfg.Metrics
+			batch := int64(task.BatchSize())
+			ot.tm.Tasks.Inc()
+			ot.tm.Cells.Add(batch)
+			m.BatchOccupancy.Observe(batch)
+			m.SlotsUsed.Add(batch)
+			m.SlotsCap.Add(ot.maxBatch)
+		}
 		if migrated {
 			dur += s.cfg.Overheads.CopyTime(s.cfg.StateBytes)
 			s.col.res.AddExtra("migration_tasks", 1)
@@ -179,6 +214,15 @@ func (s *batchMakerSim) scheduleWorker(w core.WorkerID) {
 		s.inflight[w]++
 		t := task
 		s.eng.At(end+s.cfg.Overheads.CompletionPoll, func() { s.onTaskDone(w, t, end) })
+	}
+	s.mirrorReady()
+}
+
+// mirrorReady refreshes the per-type ready-queue depth gauges so a sim
+// registry exposes the same scheduler view the live server does.
+func (s *batchMakerSim) mirrorReady() {
+	for key, ot := range s.obsTypes {
+		ot.tm.Ready.Set(int64(s.sched.ReadyNodes(key)))
 	}
 }
 
@@ -199,6 +243,11 @@ func (s *batchMakerSim) onTaskDone(w core.WorkerID, task *core.Task, end time.Du
 			// finishes (notification already included in the event time).
 			s.col.record(req.arrival, req.firstExec, end)
 			delete(s.reqs, ref.Req)
+			if m := s.cfg.Metrics; m != nil {
+				m.Completed.Inc()
+				m.Inflight.Set(int64(len(s.reqs)))
+				m.ObserveLatencySplit(req.firstExec-req.arrival, end-req.firstExec)
+			}
 		}
 	}
 	if err := s.sched.TaskCompleted(task.ID); err != nil {
@@ -210,4 +259,5 @@ func (s *batchMakerSim) onTaskDone(w core.WorkerID, task *core.Task, end time.Du
 	}
 	// Newly released subgraphs may also feed other drained workers.
 	s.kickIdleWorkers()
+	s.mirrorReady()
 }

@@ -28,6 +28,9 @@ type Arena struct {
 	// overflow accumulates the sizes that did not fit the slab this cycle;
 	// Reset grows the slab to the high-water total so the next cycle fits.
 	overflow int
+	// high is the largest element total any cycle has demanded (slab use
+	// plus overflow) — the observability high-water mark.
+	high int
 }
 
 // NewArena returns an arena with an initial slab of the given element
@@ -81,12 +84,25 @@ func (a *Arena) Reset() {
 	if a == nil {
 		return
 	}
+	if used := a.off + a.overflow; used > a.high {
+		a.high = used
+	}
 	if a.overflow > 0 {
 		a.slab = make([]float32, a.off+a.overflow)
 		a.overflow = 0
 	}
 	a.off = 0
 	a.nhdr = 0
+}
+
+// HighWater returns the largest element total any completed cycle has
+// demanded of the arena (updated on Reset). Callers converting to bytes
+// multiply by 4 (float32). A nil arena reports 0.
+func (a *Arena) HighWater() int {
+	if a == nil {
+		return 0
+	}
+	return a.high
 }
 
 // Cap returns the current slab capacity in elements (for tests and stats).
