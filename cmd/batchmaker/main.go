@@ -45,6 +45,8 @@ import (
 	"time"
 
 	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/core"
+	"batchmaker/internal/journal"
 	"batchmaker/internal/obsv"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/server"
@@ -95,30 +97,174 @@ func errorCode(err error) string {
 	return codeInternal
 }
 
+type appConfig struct {
+	Vocab, Embed, Hidden, Workers, MaxQueue int
+	// Deadline, when positive, is the per-request SLA.
+	Deadline time.Duration
+	// JournalDir, when set, enables the durable request journal: admitted
+	// requests are journaled before the submission is acknowledged, and
+	// journaled requests without a terminal record are replayed on boot.
+	JournalDir string
+	// JournalSync is the fsync policy: "none", "batch" (default), "always".
+	JournalSync string
+}
+
 type app struct {
 	enc *rnn.EncoderCell
 	dec *rnn.DecoderCell
 	srv *server.Server
-	// deadline, when positive, is the per-request SLA.
+	// jnl and jm are the durable request journal and its metric handles
+	// (nil when -journal-dir is unset).
+	jnl      *journal.Journal
+	jm       *obsv.JournalMetrics
 	deadline time.Duration
 }
 
-func newApp(vocab, embed, hidden, workers, maxQueue int, deadline time.Duration) (*app, error) {
+func newApp(cfg appConfig) (*app, error) {
 	rng := tensor.NewRNG(2018)
-	enc := rnn.NewEncoderCell("encoder", vocab, embed, hidden, rng)
-	dec := rnn.NewDecoderCell("decoder", vocab, embed, hidden, rng)
-	srv, err := server.New(server.Config{
-		Workers: workers,
+	a := &app{
+		enc:      rnn.NewEncoderCell("encoder", cfg.Vocab, cfg.Embed, cfg.Hidden, rng),
+		dec:      rnn.NewDecoderCell("decoder", cfg.Vocab, cfg.Embed, cfg.Hidden, rng),
+		deadline: cfg.Deadline,
+	}
+	scfg := server.Config{
+		Workers: cfg.Workers,
 		Cells: []server.CellSpec{
-			{Cell: enc, MaxBatch: 64, Priority: 0},
-			{Cell: dec, MaxBatch: 32, Priority: 1},
+			{Cell: a.enc, MaxBatch: 64, Priority: 0},
+			{Cell: a.dec, MaxBatch: 32, Priority: 1},
 		},
-		MaxQueuedRequests: maxQueue,
-	})
+		MaxQueuedRequests: cfg.MaxQueue,
+	}
+	var pending []journal.PendingRequest
+	if cfg.JournalDir != "" {
+		sync, err := journal.ParseSyncPolicy(cfg.JournalSync)
+		if err != nil {
+			return nil, err
+		}
+		// Recovery first: scan what the previous process left behind, then
+		// open a fresh segment for this process's records.
+		rec, err := journal.Recover(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("journal: scanned %d segments, %d records (%d torn tails, %d bytes skipped)",
+			rec.Segments, rec.Records, rec.TornSegments, rec.TornBytes)
+		if rec.TornErr != "" {
+			log.Printf("journal: torn tail detail: %s", rec.TornErr)
+		}
+		reg := obsv.NewRegistry()
+		a.jm = obsv.NewJournalMetrics(reg)
+		a.jm.Replayed.Add(int64(rec.Records))
+		a.jnl, err = journal.Open(journal.Options{Dir: cfg.JournalDir, Sync: sync, Metrics: a.jm})
+		if err != nil {
+			return nil, err
+		}
+		scfg.Obs.Registry = reg
+		scfg.Journal = a.jnl
+		scfg.FirstRequestID = rec.MaxID
+		pending = rec.Pending
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
+		if a.jnl != nil {
+			a.jnl.Close()
+		}
 		return nil, err
 	}
-	return &app{enc: enc, dec: dec, srv: srv, deadline: deadline}, nil
+	a.srv = srv
+	if len(pending) > 0 {
+		a.replay(pending)
+	}
+	return a, nil
+}
+
+// replay re-admits every journaled request that never reached a terminal
+// state, under its original ID. Requests that cannot run again — cancel
+// intent on record, deadline passed during downtime, no payload (internal
+// generation steps whose parent connection died) — are resolved directly
+// with a journaled terminal so the journal converges to empty.
+func (a *app) replay(pending []journal.PendingRequest) {
+	var handles []*server.Handle
+	var cancelled, expired, unreplayable int
+	now := time.Now().UnixNano()
+	for _, p := range pending {
+		if p.CancelRequested {
+			a.jnl.AppendTerminal(p.ID, journal.OutcomeCancelled, "replay: cancel intent journaled before crash")
+			cancelled++
+			continue
+		}
+		if len(p.Payload) == 0 {
+			a.jnl.AppendTerminal(p.ID, journal.OutcomeFailed, "replay: no payload journaled")
+			unreplayable++
+			continue
+		}
+		if p.DeadlineNs > 0 && p.DeadlineNs <= now {
+			a.jnl.AppendTerminal(p.ID, journal.OutcomeExpired, "replay: deadline passed during downtime")
+			expired++
+			continue
+		}
+		var req apiRequest
+		if err := json.Unmarshal(p.Payload, &req); err != nil {
+			a.jnl.AppendTerminal(p.ID, journal.OutcomeFailed, "replay: undecodable payload: "+err.Error())
+			unreplayable++
+			continue
+		}
+		if req.Decode <= 0 {
+			req.Decode = len(req.IDs)
+		}
+		g, err := cellgraph.UnfoldSeq2Seq(a.enc, a.dec, req.IDs, req.Decode)
+		if err != nil {
+			a.jnl.AppendTerminal(p.ID, journal.OutcomeFailed, "replay: "+err.Error())
+			unreplayable++
+			continue
+		}
+		opts := server.SubmitOpts{ReplayID: core.RequestID(p.ID)}
+		if p.DeadlineNs > 0 {
+			opts.Deadline = time.Unix(0, p.DeadlineNs)
+		}
+		h, err := a.srv.SubmitAsyncOpts(g, opts)
+		if err != nil {
+			a.jnl.AppendTerminal(p.ID, journal.OutcomeFailed, "replay admission: "+err.Error())
+			unreplayable++
+			continue
+		}
+		a.jm.Recovered.Inc()
+		handles = append(handles, h)
+	}
+	log.Printf("journal: replaying %d pending requests (%d re-admitted, %d cancelled, %d expired, %d unreplayable)",
+		len(pending), len(handles), cancelled, expired, unreplayable)
+	go func() {
+		ok := 0
+		for _, h := range handles {
+			<-h.Done()
+			if _, err := h.Result(); err == nil {
+				ok++
+			}
+		}
+		log.Printf("journal: replay complete: %d/%d re-admitted requests completed", ok, len(handles))
+	}()
+}
+
+// health augments the server's health state with journal degradation
+// detail. A lossy journal does not fail the probe — the server still
+// serves correctly; only durability is lost.
+func (a *app) health() obsv.Health {
+	h := a.srv.Health()
+	if a.jnl != nil {
+		if deg, why := a.jnl.Degraded(); deg {
+			h.JournalDegraded, h.JournalError = true, why
+		}
+	}
+	return h
+}
+
+// close stops the server (journaling terminals for everything live), then
+// flushes and closes the journal.
+func (a *app) close() {
+	a.srv.Stop()
+	if a.jnl != nil {
+		a.jnl.Close()
+	}
 }
 
 func (a *app) handle(ctx context.Context, req apiRequest) apiResponse {
@@ -140,6 +286,11 @@ func (a *app) handle(ctx context.Context, req apiRequest) apiResponse {
 	g, err := cellgraph.UnfoldSeq2Seq(a.enc, a.dec, req.IDs, req.Decode)
 	if err != nil {
 		return apiResponse{Error: err.Error(), Code: codeBadRequest}
+	}
+	if a.jnl != nil {
+		// The admit record carries the full request so recovery can rebuild
+		// and replay it after a crash.
+		opts.JournalPayload, _ = json.Marshal(req)
 	}
 	out, err := a.srv.SubmitOpts(ctx, g, opts)
 	if err != nil {
@@ -208,6 +359,8 @@ func main() {
 		maxQueue = flag.Int("max-queue", 0, "max concurrently admitted requests; excess is shed with code \"overloaded\" (0 = unlimited)")
 		deadline = flag.Duration("deadline", 0, "per-request SLA; expired requests stop batching and answer code \"expired\" (0 = none)")
 		demo     = flag.Bool("demo", false, "drive the server with a built-in client and exit")
+		jdir     = flag.String("journal-dir", "", "durable request journal directory; admits are journaled before acknowledgement and unfinished requests replay on boot (empty = off)")
+		jsync    = flag.String("journal-sync", "batch", "journal fsync policy: none (process-crash safe), batch (group-commit fsync; default), always (fsync per record)")
 		metrics  = flag.String("metrics-addr", "", "HTTP introspection listen address serving /metrics, /debug/requests, /healthz and /debug/pprof (empty = off)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at exit; in serve mode, send SIGINT/SIGTERM)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -228,11 +381,15 @@ func main() {
 		}()
 	}
 
-	a, err := newApp(*vocab, *embed, *hidden, *workers, *maxQueue, *deadline)
+	a, err := newApp(appConfig{
+		Vocab: *vocab, Embed: *embed, Hidden: *hidden,
+		Workers: *workers, MaxQueue: *maxQueue, Deadline: *deadline,
+		JournalDir: *jdir, JournalSync: *jsync,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer a.srv.Stop()
+	defer a.close()
 	// Registered after srv.Stop so the heap profile is taken while the
 	// server (arenas, pools, live maps) is still alive.
 	defer writeMemProfile(*memProf)
@@ -252,7 +409,7 @@ func main() {
 		defer mln.Close()
 		log.Printf("introspection on http://%s (/metrics /debug/requests /healthz /debug/pprof)", mln.Addr())
 		go func() {
-			srv := &http.Server{Handler: obsv.Handler(a.srv.Observer(), a.srv.Health)}
+			srv := &http.Server{Handler: obsv.Handler(a.srv.Observer(), a.health)}
 			if err := srv.Serve(mln); err != nil && !errors.Is(err, net.ErrClosed) {
 				log.Printf("introspection server: %v", err)
 			}

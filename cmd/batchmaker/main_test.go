@@ -13,11 +13,11 @@ import (
 
 func testApp(t *testing.T) *app {
 	t.Helper()
-	a, err := newApp(50, 8, 16, 1, 0, 0)
+	a, err := newApp(appConfig{Vocab: 50, Embed: 8, Hidden: 16, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(a.srv.Stop)
+	t.Cleanup(a.close)
 	return a
 }
 
@@ -70,11 +70,11 @@ func TestHandleBadRequest(t *testing.T) {
 func TestHandleDeadlineExpiresWithCode(t *testing.T) {
 	// A 1ns SLA cannot be met: the request must be answered with a
 	// structured "expired" error, not a hang or a dropped connection.
-	a, err := newApp(50, 8, 16, 1, 0, time.Nanosecond)
+	a, err := newApp(appConfig{Vocab: 50, Embed: 8, Hidden: 16, Workers: 1, Deadline: time.Nanosecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(a.srv.Stop)
+	t.Cleanup(a.close)
 	resp := a.handle(context.Background(), apiRequest{IDs: []int{4, 5, 6}, Decode: 3})
 	if resp.Error == "" || resp.Code != codeExpired {
 		t.Fatalf("want expired code, got %+v", resp)
@@ -84,7 +84,7 @@ func TestHandleDeadlineExpiresWithCode(t *testing.T) {
 func TestHandleOverloadedWithCode(t *testing.T) {
 	// With an admission cap of 1 and a server whose only worker is kept
 	// busy, the second concurrent request must be shed as "overloaded".
-	a, err := newApp(50, 8, 16, 1, 1, 0)
+	a, err := newApp(appConfig{Vocab: 50, Embed: 8, Hidden: 16, Workers: 1, MaxQueue: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

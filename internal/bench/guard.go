@@ -41,6 +41,20 @@ func (o *GuardObservability) Ratio() float64 {
 	return o.TracingOnNsPerCell / o.TracingOffNsPerCell
 }
 
+// GuardDurability is the recorded journal-on vs journal-off comparison of
+// the pipelined engine (same workload, the durable request journal at
+// sync=batch as the only difference), in wall nanoseconds per executed cell.
+type GuardDurability struct {
+	JournalOnNsPerCell  float64 `json:"journal_on_ns_per_cell"`
+	JournalOffNsPerCell float64 `json:"journal_off_ns_per_cell"`
+	OverheadRatio       float64 `json:"overhead_ratio"`
+}
+
+// Ratio returns journal-on over journal-off ns/cell.
+func (d *GuardDurability) Ratio() float64 {
+	return d.JournalOnNsPerCell / d.JournalOffNsPerCell
+}
+
 // GuardReport is the slice of BENCH_server.json the regression guard reads.
 // Current reports carry one entry per GOMAXPROCS configuration under
 // "configs"; reports from before the multi-config schema carried a single
@@ -52,6 +66,9 @@ type GuardReport struct {
 	// Observability is the tracing-on/off overhead record; nil in reports
 	// recorded before the observability layer existed.
 	Observability *GuardObservability `json:"observability"`
+	// Durability is the journal-on/off overhead record; nil in reports
+	// recorded before the durable journal existed.
+	Durability *GuardDurability `json:"durability"`
 
 	// Legacy single-config fields.
 	GlobalLock       GuardEngine `json:"global_lock"`
@@ -153,6 +170,37 @@ func (r *GuardReport) CheckObservabilityOverhead(maxRatio float64) error {
 	if ratio > maxRatio {
 		return fmt.Errorf("bench: tracing-on costs %.1f ns/cell vs %.1f off (%.3fx, budget %.2fx) — the observability layer is no longer cheap",
 			o.TracingOnNsPerCell, o.TracingOffNsPerCell, ratio, maxRatio)
+	}
+	return nil
+}
+
+// CheckJournalOverhead fails when the recorded journal-on run costs more
+// than maxRatio times the journal-off run per cell. CI runs it with 1.10:
+// group commit at sync=batch must keep durability within 10% of the
+// journal-off engine, or batching is no longer absorbing the fsync cost.
+// Reports recorded before the durable journal (section absent) are skipped.
+// The recorded ratio is cross-checked against its inputs so a hand-edited
+// report cannot disagree with itself.
+func (r *GuardReport) CheckJournalOverhead(maxRatio float64) error {
+	d := r.Durability
+	if d == nil {
+		return nil
+	}
+	if d.JournalOnNsPerCell <= 0 || d.JournalOffNsPerCell <= 0 {
+		return fmt.Errorf("bench: durability record has non-positive ns/cell (on=%.1f off=%.1f)",
+			d.JournalOnNsPerCell, d.JournalOffNsPerCell)
+	}
+	ratio := d.Ratio()
+	if d.OverheadRatio != 0 {
+		const tol = 1e-6
+		if diff := ratio - d.OverheadRatio; diff > tol || diff < -tol {
+			return fmt.Errorf("bench: recorded journal overhead %.6f disagrees with its inputs (%.6f) — stale or edited report",
+				d.OverheadRatio, ratio)
+		}
+	}
+	if ratio > maxRatio {
+		return fmt.Errorf("bench: journal-on costs %.1f ns/cell vs %.1f off (%.3fx, budget %.2fx) — group commit is no longer absorbing the durability cost",
+			d.JournalOnNsPerCell, d.JournalOffNsPerCell, ratio, maxRatio)
 	}
 	return nil
 }

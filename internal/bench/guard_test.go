@@ -19,6 +19,11 @@ const ciAllocBudget = 60.0
 // default sampling must stay within 5% of the untraced engine per cell.
 const ciObsOverheadBudget = 1.05
 
+// ciJournalOverheadBudget bounds the durability layer's cost: the request
+// journal at sync=batch (group commit) must stay within 10% of the
+// journal-off engine per cell.
+const ciJournalOverheadBudget = 1.10
+
 // TestBenchGuard is the CI regression gate: the checked-in BENCH_server.json
 // must show every recorded configuration's pipelined engine at or above the
 // global-lock baseline and inside the allocation budget.
@@ -40,6 +45,9 @@ func TestBenchGuard(t *testing.T) {
 	if err := r.CheckObservabilityOverhead(ciObsOverheadBudget); err != nil {
 		t.Fatalf("observability overhead regression: %v", err)
 	}
+	if err := r.CheckJournalOverhead(ciJournalOverheadBudget); err != nil {
+		t.Fatalf("journal overhead regression: %v", err)
+	}
 	for _, c := range r.Configs {
 		t.Logf("%s: pipelined %.0f req/s (%.1f allocs/cell) vs global-lock %.0f req/s (%.2fx)",
 			c.Label, c.Pipelined.ReqPerSec, c.Pipelined.AllocsPerCell, c.GlobalLock.ReqPerSec, c.Speedup())
@@ -47,6 +55,10 @@ func TestBenchGuard(t *testing.T) {
 	if o := r.Observability; o != nil {
 		t.Logf("observability: tracing on %.0f ns/cell vs off %.0f ns/cell (%.3fx)",
 			o.TracingOnNsPerCell, o.TracingOffNsPerCell, o.Ratio())
+	}
+	if d := r.Durability; d != nil {
+		t.Logf("durability: journal on %.0f ns/cell vs off %.0f ns/cell (%.3fx)",
+			d.JournalOnNsPerCell, d.JournalOffNsPerCell, d.Ratio())
 	}
 }
 
@@ -224,6 +236,67 @@ func TestGuardObservabilitySkipsLegacyReports(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := r.CheckObservabilityOverhead(1.05); err != nil {
+		t.Fatalf("overhead gate fired on a legacy report: %v", err)
+	}
+}
+
+func TestGuardDetectsJournalOverhead(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"durability": {
+			"journal_on_ns_per_cell": 130,
+			"journal_off_ns_per_cell": 100,
+			"overhead_ratio": 1.3
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.CheckJournalOverhead(1.10)
+	if err == nil {
+		t.Fatal("guard accepted a 1.3x journal overhead against a 1.10x budget")
+	}
+	if !strings.Contains(err.Error(), "1.300x") {
+		t.Fatalf("error %q does not report the measured ratio", err)
+	}
+	if err := r.CheckJournalOverhead(1.35); err != nil {
+		t.Fatalf("budget 1.35 must accept ratio 1.3: %v", err)
+	}
+}
+
+func TestGuardDetectsInconsistentDurabilityRecord(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"durability": {
+			"journal_on_ns_per_cell": 101,
+			"journal_off_ns_per_cell": 100,
+			"overhead_ratio": 0.5
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckJournalOverhead(1.10); err == nil {
+		t.Fatal("guard accepted a durability record whose ratio disagrees with its inputs")
+	}
+}
+
+func TestGuardDurabilitySkipsLegacyReports(t *testing.T) {
+	// A report recorded before the durable journal (section absent) must
+	// pass the overhead gate untouched.
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckJournalOverhead(1.10); err != nil {
 		t.Fatalf("overhead gate fired on a legacy report: %v", err)
 	}
 }

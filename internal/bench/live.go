@@ -20,6 +20,7 @@ import (
 
 	"batchmaker/internal/cellgraph"
 	"batchmaker/internal/core"
+	"batchmaker/internal/journal"
 	"batchmaker/internal/metrics"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/server"
@@ -47,6 +48,11 @@ type LiveOptions struct {
 	// rings, metrics registry) off, for measuring its overhead. The default
 	// matches production: tracing on at default sampling.
 	ObsDisabled bool
+	// JournalDir, when set, wires a durable request journal (group commit,
+	// sync=batch — the production default) into the pipelined engine and
+	// submits every request with a serialized payload, for measuring the
+	// durability layer's cost against the journal-off engine.
+	JournalDir string
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -181,25 +187,50 @@ func drive(o LiveOptions, w *liveWorkload, name string, submit submitFunc) (Live
 	}, nil
 }
 
+// benchPayload stands in for a serialized API request in the journaled
+// benchmark arm: what the journal writes per admission is what a live
+// serve-mode deployment would journal for a typical seq2seq request.
+var benchPayload = []byte(`{"ids":[4,8,15,16,23,42,7,3,9,12,28,31],"decode":16,"until_eos":false}`)
+
 // RunLivePipelined measures the staged-pipeline engine of internal/server.
 func RunLivePipelined(o LiveOptions) (LiveResult, error) {
 	o = o.withDefaults()
 	w := newLiveWorkload(o)
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Workers:          o.Workers,
 		MaxTasksToSubmit: o.MaxTasksToSubmit,
 		Cells:            []server.CellSpec{{Cell: w.cell, MaxBatch: 16}},
 		Obs:              server.ObsConfig{Disabled: o.ObsDisabled},
-	})
+	}
+	var jnl *journal.Journal
+	if o.JournalDir != "" {
+		var err error
+		jnl, err = journal.Open(journal.Options{Dir: o.JournalDir, Sync: journal.SyncBatch})
+		if err != nil {
+			return LiveResult{}, err
+		}
+		defer jnl.Close()
+		cfg.Journal = jnl
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return LiveResult{}, err
 	}
 	defer srv.Stop()
 	ctx := context.Background()
-	return drive(o, w, "pipelined", func(g *cellgraph.Graph) error {
+	name := "pipelined"
+	submit := func(g *cellgraph.Graph) error {
 		_, err := srv.Submit(ctx, g)
 		return err
-	})
+	}
+	if jnl != nil {
+		name = "pipelined-journaled"
+		submit = func(g *cellgraph.Graph) error {
+			_, err := srv.SubmitOpts(ctx, g, server.SubmitOpts{JournalPayload: benchPayload})
+			return err
+		}
+	}
+	return drive(o, w, name, submit)
 }
 
 // RunLiveGlobalLock measures the global-lock baseline on the same workload.

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"testing"
 	"time"
+
+	"batchmaker/internal/journal"
 )
 
 // quickLive is the CI-sized workload: small enough to finish in well under a
@@ -138,6 +140,76 @@ func recordObsPairs(t *testing.T, o LiveOptions, pairs int) (on, off LiveResult,
 	return med.on, med.off, med.ratio
 }
 
+// recordJournalPairs measures the durability layer's cost: interleaved
+// pairs of the pipelined engine with the request journal on (sync=batch,
+// the production default) and off, reported as the median pair's ns/cell
+// ratio. Every journaled run gets a fresh directory so segment state never
+// accumulates across pairs.
+func recordJournalPairs(t *testing.T, o LiveOptions, pairs int) (on, off LiveResult, ratio float64) {
+	t.Helper()
+	type pair struct {
+		on, off LiveResult
+		ratio   float64
+	}
+	run := func(journaled bool) LiveResult {
+		oo := o
+		if journaled {
+			oo.JournalDir = t.TempDir()
+		}
+		r, err := RunLivePipelined(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	var ps []pair
+	for i := 0; i < pairs; i++ {
+		var pr pair
+		if i%2 == 0 {
+			pr.on = run(true)
+			pr.off = run(false)
+		} else {
+			pr.off = run(false)
+			pr.on = run(true)
+		}
+		pr.ratio = pr.on.NsPerCell() / pr.off.NsPerCell()
+		t.Logf("journal pair %d: journal on %.0f ns/cell, off %.0f ns/cell, ratio %.3f",
+			i, pr.on.NsPerCell(), pr.off.NsPerCell(), pr.ratio)
+		ps = append(ps, pr)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ratio < ps[j].ratio })
+	med := ps[pairs/2]
+	return med.on, med.off, med.ratio
+}
+
+// TestLiveJournaledEngineConverges is the correctness gate for the journaled
+// benchmark arm: the journal-on run must serve the full workload, and its
+// journal must converge — every admitted request durably terminal, nothing
+// pending, nothing duplicated — so the durability comparison measures a
+// working configuration.
+func TestLiveJournaledEngineConverges(t *testing.T) {
+	o := quickLive()
+	o.JournalDir = t.TempDir()
+	res, err := RunLivePipelined(o)
+	if err != nil {
+		t.Fatalf("journaled run: %v", err)
+	}
+	if res.Requests != o.Clients*o.RequestsPerClient {
+		t.Fatalf("served %d requests, want %d", res.Requests, o.Clients*o.RequestsPerClient)
+	}
+	rec, err := journal.Recover(o.JournalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 0 || rec.DuplicateAdmits != 0 || rec.DuplicateTerminals != 0 {
+		t.Fatalf("journal did not converge: %d pending, %d duplicate admits, %d duplicate terminals",
+			len(rec.Pending), rec.DuplicateAdmits, rec.DuplicateTerminals)
+	}
+	if len(rec.Terminal) != res.Requests {
+		t.Fatalf("journal holds %d terminals for %d served requests", len(rec.Terminal), res.Requests)
+	}
+}
+
 // TestRecordLiveBench regenerates BENCH_server.json at the repo root with
 // one config entry per GOMAXPROCS setting: serial (1) and NumCPU. On a
 // single-CPU machine the two entries are independent runs of the same
@@ -175,6 +247,8 @@ func TestRecordLiveBench(t *testing.T) {
 	runtime.GOMAXPROCS(prev)
 	t.Logf("=== observability overhead (GOMAXPROCS=%d) ===", prev)
 	obsOn, obsOff, obsRatio := recordObsPairs(t, o, pairs)
+	t.Logf("=== durability overhead (GOMAXPROCS=%d) ===", prev)
+	jnlOn, jnlOff, jnlRatio := recordJournalPairs(t, o, pairs)
 	out := map[string]any{
 		"benchmark": "live-server-throughput",
 		"recorded":  time.Now().UTC().Format("2006-01-02"),
@@ -187,6 +261,11 @@ func TestRecordLiveBench(t *testing.T) {
 			"tracing_on_ns_per_cell":  obsOn.NsPerCell(),
 			"tracing_off_ns_per_cell": obsOff.NsPerCell(),
 			"overhead_ratio":          obsRatio,
+		},
+		"durability": map[string]any{
+			"journal_on_ns_per_cell":  jnlOn.NsPerCell(),
+			"journal_off_ns_per_cell": jnlOff.NsPerCell(),
+			"overhead_ratio":          jnlRatio,
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,98 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"batchmaker/internal/server"
+)
+
+// crashScenario maps a seed to its kill/restart configuration. Like
+// scenario, the variant is a pure function of the seed:
+//
+//	seed%3 == 0  clean crash      every durably admitted request must
+//	             complete across the boundary
+//	seed%3 == 1  disrupted crash  cancellations and deadlines in flight at
+//	             the kill; cancel intents and downtime expiry must be
+//	             honored on replay
+//	seed%3 == 2  torn tail        seeded garbage appended to the crashed
+//	             journal's last segment; recovery must skip it without
+//	             losing acknowledged records
+//
+// Every variant installs a delay-only fault injector: it slows cells enough
+// that the kill reliably lands with a backlog in flight, without changing
+// any outcome or output.
+func crashScenario(seed uint64) (GenConfig, CrashOpts) {
+	cfg := GenConfig{
+		Requests:      24,
+		ChainWeight:   3,
+		TreeWeight:    2,
+		Seq2SeqWeight: 2,
+		MinLen:        1,
+		MaxLen:        10,
+		MaxLeaves:     10,
+		// Bursty arrivals: the prefix is submitted far faster than the
+		// delayed cells can serve it, so the kill interrupts real work.
+		MeanGap: 300 * time.Microsecond,
+	}
+	f := server.NewRandomFaults(seed)
+	f.PDelay = 1
+	f.Delay = 4 * time.Millisecond
+	opts := CrashOpts{
+		LiveOpts:      LiveOpts{Workers: 2, MaxBatch: 8, MaxTasksToSubmit: 3, Faults: f},
+		KillAfterFrac: 0.6,
+	}
+	switch seed % 3 {
+	case 1:
+		cfg.PCancel = 0.3
+		cfg.CancelAfterMax = 5 * time.Millisecond
+		cfg.PDeadline = 0.2
+		cfg.DeadlineMin = 20 * time.Millisecond
+		cfg.DeadlineMax = 80 * time.Millisecond
+	case 2:
+		opts.TornTailGarbage = 64 + int(seed%101)
+	}
+	return cfg, opts
+}
+
+// TestCrashRestartConformance is the seeded kill/restart loop: each seed
+// serves a workload prefix against a journaled live server, crashes it with
+// requests in flight, restarts against the journal, and checks the
+// durability invariants (conservation, exactly-one-terminal, numerics vs
+// the sequential oracle) across the crash boundary. The seed count follows
+// -seeds, so the nightly 64-seed sweep covers it too.
+func TestCrashRestartConformance(t *testing.T) {
+	seeds := *seedsFlag
+	if testing.Short() && seeds > 3 {
+		seeds = 3
+	}
+	for i := 0; i < seeds; i++ {
+		seed := uint64(9000 + i)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runCrashSeed(t, seed)
+		})
+	}
+}
+
+func runCrashSeed(t *testing.T, seed uint64) {
+	t.Helper()
+	cfg, opts := crashScenario(seed)
+	m := NewModel(modelSeed)
+	w := Generate(seed, cfg)
+	res, err := RunCrashRestart(m, w, t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("crash/restart run: %v", err)
+	}
+	t.Logf("seed %d: acked=%d pending-at-crash=%d replayed=%d torn-segments=%d",
+		seed, res.AckedAtCrash, res.PendingAtCrash, res.Replayed, res.TornSegments)
+	if len(res.Violations) > 0 {
+		t.Fatalf("durability invariant violations at seed %d:\n%s", seed, FormatViolations(res.Violations))
+	}
+	if res.AckedAtCrash == 0 {
+		t.Fatal("no requests were durably admitted before the kill — the scenario is vacuous")
+	}
+	if res.PendingAtCrash == 0 {
+		t.Fatal("no requests were in flight at the kill — the crash interrupted nothing")
+	}
+}

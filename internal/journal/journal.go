@@ -1,0 +1,761 @@
+package journal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batchmaker/internal/obsv"
+)
+
+// SyncPolicy controls when the flush loop calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncBatch fsyncs once per group-commit batch before acknowledging it:
+	// every acknowledged record survives both process and OS crashes, at
+	// one fsync amortized over the whole batch. The default.
+	SyncBatch SyncPolicy = iota
+	// SyncNone never fsyncs during operation (only at Close): acknowledged
+	// records survive a process crash but not an OS crash or power loss.
+	SyncNone
+	// SyncAlways fsyncs after every record: the strictest (and slowest)
+	// policy, mostly useful as a comparison point for SyncBatch.
+	SyncAlways
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("sync(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -journal-sync flag vocabulary.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none":
+		return SyncNone, nil
+	case "batch", "":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return 0, fmt.Errorf("journal: unknown sync policy %q (want none, batch or always)", s)
+}
+
+// SegmentFile is the journal's view of one segment: sequential writes, an
+// fsync barrier, and close. *os.File satisfies it; tests inject failing
+// implementations to exercise lossy-mode degradation.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options configures a Journal.
+type Options struct {
+	// Dir is the journal directory (created if missing). Required.
+	Dir string
+	// Sync is the fsync policy (default SyncBatch).
+	Sync SyncPolicy
+	// SegmentMaxBytes rotates to a fresh segment once the current one
+	// exceeds this size (default 4 MiB).
+	SegmentMaxBytes int64
+	// FlushMaxBatch bounds records per group-commit batch (default 128).
+	FlushMaxBatch int
+	// FlushMaxWait bounds how long the flush loop holds a non-empty batch
+	// open waiting for more records. Zero (the default) selects adaptive
+	// pacing: a batch is held open until syncSlack× the EWMA fsync cost has
+	// passed since the last fsync (at most MaxSyncInterval), so the fsync
+	// rate tracks what the disk can actually absorb while an idle append
+	// still commits immediately. Positive values hold batches open on a
+	// fixed timer instead.
+	FlushMaxWait time.Duration
+	// MaxSyncInterval caps the adaptive pacing window — the longest a
+	// durability acknowledgement can lag its append under SyncBatch
+	// (default 20ms; ignored when FlushMaxWait is set). Smaller values
+	// tighten the crash window at the cost of more fsyncs.
+	MaxSyncInterval time.Duration
+	// QueueDepth bounds the append queue (default 1024). A full queue never
+	// blocks the caller: the append is dropped and counted as an error.
+	QueueDepth int
+	// Metrics receives the journal's counters and histograms; nil means
+	// no-op metrics.
+	Metrics *obsv.JournalMetrics
+	// OpenSegment opens a fresh segment file for writing (default
+	// os.Create). The failure-injection seam for degradation tests.
+	OpenSegment func(path string) (SegmentFile, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = 4 << 20
+	}
+	if o.MaxSyncInterval <= 0 {
+		o.MaxSyncInterval = 20 * time.Millisecond
+	}
+	if o.FlushMaxBatch <= 0 {
+		o.FlushMaxBatch = 128
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.Metrics == nil {
+		o.Metrics = obsv.NewJournalMetrics(nil)
+	}
+	if o.OpenSegment == nil {
+		o.OpenSegment = func(path string) (SegmentFile, error) { return os.Create(path) }
+	}
+	return o
+}
+
+// Journal errors.
+var (
+	// ErrDegraded acknowledges appends after a write/fsync failure flipped
+	// the journal into lossy mode: the record was NOT persisted, but the
+	// serving path must keep going.
+	ErrDegraded = errors.New("journal: degraded to lossy mode")
+	// ErrQueueFull acknowledges an append dropped because the flush loop
+	// fell behind the configured queue depth.
+	ErrQueueFull = errors.New("journal: append queue full")
+	// ErrClosed acknowledges appends after Close or Kill.
+	ErrClosed = errors.New("journal: closed")
+)
+
+// pending is one enqueued record with its response channel and enqueue
+// timestamp (for the commit-latency metric).
+type pending struct {
+	rec  Record
+	done chan error
+	enq  time.Time
+}
+
+// syncReq is one handoff from the flush loop to the sync loop: either a
+// written-and-flushed batch awaiting fsync before acknowledgement, or a
+// barrier the flush loop waits on before sealing a segment.
+type syncReq struct {
+	f     SegmentFile
+	batch []*pending
+	// end is the current segment's byte offset just past this batch: once
+	// the batch's fsync is acknowledged, everything up to end is durable.
+	end     int64
+	barrier chan struct{}
+}
+
+// Journal is a durable request journal with batched group commit. Appends
+// are safe from any goroutine; one flush goroutine owns the segment file,
+// and under SyncBatch a second goroutine runs the fsyncs so disk latency
+// overlaps the writing of the next batch (writer/syncer split).
+type Journal struct {
+	opts Options
+	m    *obsv.JournalMetrics
+
+	ch     chan *pending
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	syncCh chan syncReq
+	syncWg sync.WaitGroup
+
+	// killed simulates a crash: the flush loop stops without flushing and
+	// queued records are dropped, exactly as a SIGKILL would drop them.
+	killed atomic.Bool
+	// degraded flips on the first write/fsync/rotate failure; appends are
+	// then acknowledged immediately with ErrDegraded (lossy mode).
+	degraded  atomic.Bool
+	degradeMu sync.Mutex
+	degradeBy error
+
+	// Flush-goroutine-owned segment state.
+	f        SegmentFile
+	w        *bufio.Writer
+	segIdx   int
+	segBytes int64
+	encBuf   []byte
+
+	// ackedBytes is the current segment's acknowledged-durable prefix: the
+	// byte offset covered by the last fsync whose batches were acked. Kill
+	// truncates the segment to it, modeling a machine crash in which
+	// written-but-unsynced bytes never reached the platter.
+	ackedBytes atomic.Int64
+
+	// Adaptive group-commit pacing state, driving syncPace: unix-nanos of
+	// the last fsync completion and the EWMA cost of one fsync. Written by
+	// whichever goroutine ran the fsync (the sync loop in steady state, the
+	// flush loop when sealing segments), read by the flush loop — atomics
+	// for visibility, never contended.
+	lastSyncNs atomic.Int64
+	ewmaSyncNs atomic.Int64
+}
+
+// Adaptive group-commit pacing (SyncBatch with no explicit FlushMaxWait):
+// a batch is held open until at least syncSlack× the EWMA fsync cost has
+// passed since the last fsync, capping the disk's fsync duty cycle at
+// roughly 1/syncSlack of wall time under sustained load. An idle append
+// still commits immediately (the last fsync is long past), so the policy
+// costs latency only when batching is actually paying for it.
+// Options.MaxSyncInterval bounds the induced acknowledgement lag on slow
+// storage. The fsyncs themselves run on the sync loop, overlapped with the
+// next batch's collection, and nothing in the serving path waits for them,
+// so pacing governs fsync cost and ack lag — not request latency.
+const syncSlack = 16
+
+// segmentName formats the idx'th segment's filename.
+func segmentName(idx int) string { return fmt.Sprintf("journal-%08d.wal", idx) }
+
+// segmentIndex parses a segment filename; ok is false for foreign files.
+func segmentIndex(name string) (int, bool) {
+	if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".wal"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the sorted segment indices present in dir.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for _, e := range entries {
+		if idx, ok := segmentIndex(e.Name()); ok && !e.IsDir() {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// Open creates (or joins) the journal directory and starts the flush loop
+// appending to a fresh segment after any existing ones. Existing segments
+// are never modified — read them with Recover before or after Open.
+func Open(opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("journal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", opts.Dir, err)
+	}
+	idxs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: scanning %s: %w", opts.Dir, err)
+	}
+	next := 0
+	if len(idxs) > 0 {
+		next = idxs[len(idxs)-1] + 1
+	}
+	j := &Journal{
+		opts:   opts,
+		m:      opts.Metrics,
+		ch:     make(chan *pending, opts.QueueDepth),
+		quit:   make(chan struct{}),
+		syncCh: make(chan syncReq, 64),
+		segIdx: next,
+	}
+	if err := j.openSegment(); err != nil {
+		return nil, err
+	}
+	j.wg.Add(1)
+	go j.flushLoop()
+	j.syncWg.Add(1)
+	go j.syncLoop()
+	return j, nil
+}
+
+// openSegment opens segment segIdx and writes its magic header. Called by
+// Open (before the flush loop starts) and by rotation (on the flush loop).
+func (j *Journal) openSegment() error {
+	f, err := j.opts.OpenSegment(filepath.Join(j.opts.Dir, segmentName(j.segIdx)))
+	if err != nil {
+		return fmt.Errorf("journal: opening segment %d: %w", j.segIdx, err)
+	}
+	w := bufio.NewWriterSize(f, 64<<10)
+	if _, err := w.WriteString(segmentMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: writing segment header: %w", err)
+	}
+	j.f, j.w = f, w
+	j.segBytes = int64(len(segmentMagic))
+	// Nothing in a fresh segment is durable until its first fsync; a kill
+	// before that truncates it to empty (never extends — the file on disk
+	// is always at least as long as the last fsynced offset).
+	j.ackedBytes.Store(0)
+	j.m.Bytes.Add(int64(len(segmentMagic)))
+	return nil
+}
+
+// AppendAdmit journals a request admission with its serialized payload and
+// absolute deadline. The returned channel receives exactly one value once
+// the record is durable per the sync policy (nil) or dropped (the reason);
+// it is buffered, so callers may also discard it.
+func (j *Journal) AppendAdmit(id uint64, payload []byte, deadlineNs int64) <-chan error {
+	return j.append(Record{Kind: KindAdmit, ID: id, Payload: payload, DeadlineNs: deadlineNs})
+}
+
+// AppendCancel journals a cancellation intent.
+func (j *Journal) AppendCancel(id uint64) {
+	j.append(Record{Kind: KindCancel, ID: id})
+}
+
+// AppendTerminal journals a terminal outcome.
+func (j *Journal) AppendTerminal(id uint64, outcome Outcome, reason string) {
+	j.append(Record{Kind: KindTerminal, ID: id, Outcome: outcome, Reason: reason})
+}
+
+// append enqueues one record for the flush loop. It never blocks: a dead,
+// degraded, or backed-up journal acknowledges immediately with the reason,
+// and the serving path decides (by policy: lossy) to carry on.
+func (j *Journal) append(rec Record) <-chan error {
+	done := make(chan error, 1)
+	switch {
+	case j.killed.Load():
+		done <- ErrClosed
+		return done
+	case j.degraded.Load():
+		j.degradeMu.Lock()
+		err := j.degradeBy
+		j.degradeMu.Unlock()
+		done <- fmt.Errorf("%w: %v", ErrDegraded, err)
+		return done
+	}
+	select {
+	case j.ch <- &pending{rec: rec, done: done, enq: time.Now()}:
+	case <-j.quit:
+		done <- ErrClosed
+	default:
+		j.m.Errors.Inc()
+		done <- ErrQueueFull
+	}
+	return done
+}
+
+// Degraded reports whether the journal flipped to lossy mode, and why.
+func (j *Journal) Degraded() (bool, string) {
+	if !j.degraded.Load() {
+		return false, ""
+	}
+	j.degradeMu.Lock()
+	defer j.degradeMu.Unlock()
+	return true, j.degradeBy.Error()
+}
+
+// flushLoop is the group-commit loop: collect a batch (held open by the
+// fixed FlushMaxWait window or the adaptive fsync pacing), write it, then
+// either acknowledge it directly (SyncNone, SyncAlways) or hand it to the
+// sync loop, which fsyncs and acknowledges while this loop moves on.
+func (j *Journal) flushLoop() {
+	defer j.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	batch := make([]*pending, 0, j.opts.FlushMaxBatch)
+	for {
+		// Wait for the batch's first record (or shutdown).
+		select {
+		case p := <-j.ch:
+			batch = append(batch[:0], p)
+		case <-j.quit:
+			j.drainAndExit(batch[:0])
+			return
+		}
+		wait := j.opts.FlushMaxWait
+		if wait <= 0 {
+			wait = j.syncPace()
+		}
+		if wait > 0 {
+			// Hold the batch open for followers.
+			timer.Reset(wait)
+			open := true
+			for open && len(batch) < j.opts.FlushMaxBatch {
+				select {
+				case p := <-j.ch:
+					batch = append(batch, p)
+				case <-timer.C:
+					open = false
+				case <-j.quit:
+					open = false
+				}
+			}
+			if open && !timer.Stop() {
+				<-timer.C
+			}
+		}
+		// Greedy drain: take whatever else is already queued, so appends
+		// that landed while the window closed (or during the previous
+		// commit's fsync) ride this batch instead of forcing another.
+		greedy := true
+		for greedy && len(batch) < j.opts.FlushMaxBatch {
+			select {
+			case p := <-j.ch:
+				batch = append(batch, p)
+			default:
+				greedy = false
+			}
+		}
+		j.commit(batch)
+		if j.killed.Load() {
+			j.drainAndExit(batch[:0])
+			return
+		}
+	}
+}
+
+// drainAndExit consumes whatever is still queued at shutdown. On a graceful
+// Close the leftovers are committed; on Kill (or after degradation) they
+// are dropped, exactly as a crash would drop them.
+func (j *Journal) drainAndExit(batch []*pending) {
+	for {
+		select {
+		case p := <-j.ch:
+			batch = append(batch, p)
+		default:
+			if j.killed.Load() {
+				for _, p := range batch {
+					p.done <- ErrClosed
+				}
+			} else if len(batch) > 0 {
+				j.commit(batch)
+			}
+			// Retire the sync loop before touching the segment file: any
+			// handed-off batch must fsync (or, killed, drop) first.
+			close(j.syncCh)
+			j.syncWg.Wait()
+			if j.killed.Load() {
+				j.truncateUnsynced()
+			}
+			j.closeSegment(!j.killed.Load() && !j.degraded.Load())
+			return
+		}
+	}
+}
+
+// commit writes one batch and routes it to acknowledgement: directly for
+// SyncNone (flushed) and SyncAlways (fsynced per record inline), via the
+// sync loop for SyncBatch, so the fsync overlaps the next batch's
+// collection. Any failure degrades the journal to lossy mode.
+func (j *Journal) commit(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
+	if j.killed.Load() {
+		for _, p := range batch {
+			p.done <- ErrClosed
+		}
+		return
+	}
+	if j.degraded.Load() {
+		j.degradeMu.Lock()
+		err := j.degradeBy
+		j.degradeMu.Unlock()
+		j.failBatch(batch, err)
+		return
+	}
+	var bytes int64
+	err := func() error {
+		for _, p := range batch {
+			if j.segBytes >= j.opts.SegmentMaxBytes {
+				if err := j.rotate(); err != nil {
+					return err
+				}
+			}
+			buf, err := appendRecord(j.encBuf[:0], &p.rec)
+			if err != nil {
+				return err
+			}
+			j.encBuf = buf
+			if _, err := j.w.Write(buf); err != nil {
+				return err
+			}
+			j.segBytes += int64(len(buf))
+			bytes += int64(len(buf))
+			if j.opts.Sync == SyncAlways {
+				if err := j.syncNow(); err != nil {
+					return err
+				}
+			}
+		}
+		return j.w.Flush()
+	}()
+	j.m.Bytes.Add(bytes)
+	if err != nil {
+		j.degrade(err)
+		j.failBatch(batch, err)
+		return
+	}
+	if j.opts.Sync == SyncBatch {
+		cp := make([]*pending, len(batch))
+		copy(cp, batch)
+		j.syncCh <- syncReq{f: j.f, batch: cp, end: j.segBytes}
+		return
+	}
+	j.ackBatch(batch)
+}
+
+// ackBatch resolves a durably committed batch: per-kind counters, commit
+// latency, then each record's response channel.
+func (j *Journal) ackBatch(batch []*pending) {
+	j.m.BatchRecords.Observe(int64(len(batch)))
+	now := time.Now()
+	for _, p := range batch {
+		switch p.rec.Kind {
+		case KindAdmit:
+			j.m.AdmitRecords.Inc()
+		case KindCancel:
+			j.m.CancelRecords.Inc()
+		case KindTerminal:
+			j.m.TerminalRecords.Inc()
+		}
+		j.m.Commit.Observe(now.Sub(p.enq))
+		p.done <- nil
+	}
+}
+
+// failBatch acknowledges every record in batch as lost to degradation.
+func (j *Journal) failBatch(batch []*pending, err error) {
+	for _, p := range batch {
+		p.done <- fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+}
+
+// syncLoop is the fsync half of the writer/syncer split. It coalesces every
+// handoff that queued while the previous fsync ran — rotation and shutdown
+// barrier the queue, so all of them were written to the same segment and one
+// fsync covers them all — then acknowledges the lot.
+func (j *Journal) syncLoop() {
+	defer j.syncWg.Done()
+	var reqs []syncReq
+	for open := true; open; {
+		req, ok := <-j.syncCh
+		if !ok {
+			return
+		}
+		reqs = append(reqs[:0], req)
+		for drain := req.barrier == nil; drain; {
+			select {
+			case r, ok := <-j.syncCh:
+				switch {
+				case !ok:
+					open, drain = false, false
+				case r.barrier != nil:
+					reqs, drain = append(reqs, r), false
+				default:
+					reqs = append(reqs, r)
+				}
+			default:
+				drain = false
+			}
+		}
+		j.syncReqs(reqs)
+	}
+}
+
+// syncReqs fsyncs and acknowledges one coalesced group of handoffs, then
+// releases any trailing barrier. A killed journal drops the batches exactly
+// as the crash would have: written, flushed, never fsynced, never acked.
+func (j *Journal) syncReqs(reqs []syncReq) {
+	var f SegmentFile
+	var end int64
+	records := 0
+	for _, r := range reqs {
+		if r.batch != nil {
+			f, end, records = r.f, r.end, records+len(r.batch)
+		}
+	}
+	if records > 0 {
+		switch {
+		case j.killed.Load():
+			for _, r := range reqs {
+				for _, p := range r.batch {
+					p.done <- ErrClosed
+				}
+			}
+		case j.degraded.Load():
+			j.degradeMu.Lock()
+			err := j.degradeBy
+			j.degradeMu.Unlock()
+			for _, r := range reqs {
+				j.failBatch(r.batch, err)
+			}
+		default:
+			t0 := time.Now()
+			if err := f.Sync(); err != nil {
+				j.degrade(err)
+				for _, r := range reqs {
+					j.failBatch(r.batch, err)
+				}
+				break
+			}
+			j.observeSync(time.Now(), time.Since(t0))
+			j.ackedBytes.Store(end)
+			for _, r := range reqs {
+				if r.batch != nil {
+					j.ackBatch(r.batch)
+				}
+			}
+		}
+	}
+	for _, r := range reqs {
+		if r.barrier != nil {
+			close(r.barrier)
+		}
+	}
+}
+
+// syncBarrier blocks until the sync loop has drained every batch handed off
+// so far, making it safe for the flush loop to seal the segment file.
+func (j *Journal) syncBarrier() {
+	ch := make(chan struct{})
+	j.syncCh <- syncReq{barrier: ch}
+	<-ch
+}
+
+// syncNow flushes buffered bytes and fsyncs the segment inline, feeding the
+// pacing state with the observed fsync cost. Used by SyncAlways and by the
+// segment-sealing paths; steady-state SyncBatch fsyncs run on the sync loop.
+func (j *Journal) syncNow() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.observeSync(time.Now(), time.Since(t0))
+	j.ackedBytes.Store(j.segBytes)
+	return nil
+}
+
+// observeSync records a completed fsync into the pacing state and metrics.
+func (j *Journal) observeSync(end time.Time, d time.Duration) {
+	j.lastSyncNs.Store(end.UnixNano())
+	ewma := j.ewmaSyncNs.Load()
+	if ewma == 0 {
+		ewma = int64(d)
+	} else {
+		ewma += (int64(d) - ewma) / 4
+	}
+	j.ewmaSyncNs.Store(ewma)
+	j.m.Fsyncs.Inc()
+}
+
+// syncPace returns how much longer the flush loop should hold the current
+// batch open so the fsync duty cycle stays under ~1/syncSlack. Zero means
+// commit now; only SyncBatch paces (SyncNone never fsyncs, SyncAlways
+// fsyncs per record by request).
+func (j *Journal) syncPace() time.Duration {
+	if j.opts.Sync != SyncBatch {
+		return 0
+	}
+	ewma := time.Duration(j.ewmaSyncNs.Load())
+	if ewma == 0 {
+		return 0
+	}
+	interval := ewma * syncSlack
+	if interval > j.opts.MaxSyncInterval {
+		interval = j.opts.MaxSyncInterval
+	}
+	return interval - time.Since(time.Unix(0, j.lastSyncNs.Load()))
+}
+
+// rotate seals the current segment (flush + fsync, so a sealed segment is
+// never torn) and opens the next one. The sync loop is drained first so no
+// in-flight fsync can land on a file being closed.
+func (j *Journal) rotate() error {
+	j.syncBarrier()
+	if err := j.syncNow(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	j.segIdx++
+	return j.openSegment()
+}
+
+// truncateUnsynced models the disk state after a machine crash: bytes
+// written to the current segment but never covered by an acknowledged fsync
+// are cut off, so recovery sees exactly the acknowledged prefix. (A bare
+// process kill would leave them in the page cache, but the journal's
+// durability promise — and the conformance harness holding it to that —
+// is power-loss-grade.) Segment files without Truncate are left as-is.
+func (j *Journal) truncateUnsynced() {
+	tf, ok := j.f.(interface{ Truncate(size int64) error })
+	if !ok {
+		return
+	}
+	tf.Truncate(j.ackedBytes.Load())
+}
+
+// degrade records the first failure and flips to lossy mode.
+func (j *Journal) degrade(err error) {
+	j.m.Errors.Inc()
+	j.degradeMu.Lock()
+	if j.degradeBy == nil {
+		j.degradeBy = err
+	}
+	j.degradeMu.Unlock()
+	j.degraded.Store(true)
+}
+
+// closeSegment flushes (when sync) and closes the current segment file.
+func (j *Journal) closeSegment(sync bool) {
+	if j.f == nil {
+		return
+	}
+	if sync {
+		if err := j.syncNow(); err != nil {
+			j.degrade(err)
+		}
+	}
+	j.f.Close()
+	j.f, j.w = nil, nil
+}
+
+// Close flushes and fsyncs everything queued, then stops the flush loop.
+// Safe to call once; appends after Close are acknowledged with ErrClosed.
+func (j *Journal) Close() {
+	select {
+	case <-j.quit:
+	default:
+		close(j.quit)
+	}
+	j.wg.Wait()
+}
+
+// Kill simulates a crash for tests and the conformance harness: the flush
+// loop stops immediately, queued and buffered (unacknowledged) records are
+// dropped without flush or fsync, and the current segment is truncated to
+// its acknowledged-durable prefix (written-but-unsynced bytes never
+// survive a power loss). Records already acknowledged under
+// SyncBatch/SyncAlways remain durable — exactly the guarantee a crash
+// leaves behind.
+func (j *Journal) Kill() {
+	j.killed.Store(true)
+	select {
+	case <-j.quit:
+	default:
+		close(j.quit)
+	}
+	j.wg.Wait()
+}

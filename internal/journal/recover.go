@@ -1,0 +1,169 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// PendingRequest is a journaled request with no terminal record: work the
+// crashed process admitted but never resolved, to be replayed on restart.
+type PendingRequest struct {
+	ID         uint64
+	Payload    []byte
+	DeadlineNs int64
+	// CancelRequested is true when a cancel-intent record was journaled for
+	// the request. Replay resolves such requests as cancelled without
+	// re-executing them — the caller had already given up.
+	CancelRequested bool
+}
+
+// TerminalRecord is a journaled terminal outcome.
+type TerminalRecord struct {
+	Outcome Outcome
+	Reason  string
+}
+
+// RecoveryResult summarizes a journal directory scan.
+type RecoveryResult struct {
+	// Pending lists journaled requests without a terminal record, in admit
+	// order — the replay work list.
+	Pending []PendingRequest
+	// Terminal maps request ID to its journaled terminal outcome (first one
+	// wins if duplicates exist).
+	Terminal map[uint64]TerminalRecord
+	// MaxID is the highest request ID seen anywhere in the journal; a
+	// restarted server must allocate new IDs strictly above it.
+	MaxID uint64
+
+	// Segments is the number of segment files scanned.
+	Segments int
+	// Records is the number of intact records decoded across all segments.
+	Records int
+	// TornSegments counts segments whose readable prefix ended at a torn or
+	// corrupt frame; TornBytes is the total bytes skipped in those tails.
+	TornSegments int
+	TornBytes    int
+	// TornErr describes the first torn/corrupt frame encountered (empty if
+	// every segment decoded cleanly).
+	TornErr string
+
+	// DuplicateAdmits counts admit records for an already-admitted ID,
+	// DuplicateTerminals terminal records for an already-terminal ID, and
+	// OrphanTerminals terminal or cancel records whose admit record was
+	// never seen (lost to a torn tail, or the admit predates the oldest
+	// retained segment). All should be zero in a healthy journal; recovery
+	// tolerates them and the conformance harness asserts on them.
+	DuplicateAdmits    int
+	DuplicateTerminals int
+	OrphanTerminals    int
+}
+
+// Recover scans every segment in dir and pairs admit records with terminal
+// records. It is pure: it never modifies the directory, and it is safe to
+// run before Open (replay) and after Close (verification). A missing
+// directory recovers as empty.
+func Recover(dir string) (*RecoveryResult, error) {
+	res := &RecoveryResult{Terminal: make(map[uint64]TerminalRecord)}
+	idxs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return res, nil
+		}
+		return nil, fmt.Errorf("journal: scanning %s: %w", dir, err)
+	}
+
+	type pendingState struct {
+		order int
+		req   PendingRequest
+	}
+	pending := make(map[uint64]*pendingState)
+	order := 0
+
+	for _, idx := range idxs {
+		path := filepath.Join(dir, segmentName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: reading segment %d: %w", idx, err)
+		}
+		res.Segments++
+		if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
+			res.TornSegments++
+			res.TornBytes += len(data)
+			if res.TornErr == "" {
+				res.TornErr = fmt.Sprintf("segment %d: bad magic header", idx)
+			}
+			continue
+		}
+		off := len(segmentMagic)
+		for off < len(data) {
+			rec, n, err := decodeRecord(data[off:])
+			if err != nil {
+				// Torn tail: keep the intact prefix, skip the rest of this
+				// segment. Only the final segment of a crashed journal should
+				// ever be torn (rotation seals earlier ones with an fsync).
+				res.TornSegments++
+				res.TornBytes += len(data) - off
+				if res.TornErr == "" {
+					res.TornErr = fmt.Sprintf("segment %d @%d: %v", idx, off, err)
+				}
+				break
+			}
+			off += n
+			res.Records++
+			if rec.ID > res.MaxID {
+				res.MaxID = rec.ID
+			}
+			switch rec.Kind {
+			case KindAdmit:
+				if _, dup := res.Terminal[rec.ID]; dup {
+					res.DuplicateAdmits++
+					continue
+				}
+				if _, dup := pending[rec.ID]; dup {
+					res.DuplicateAdmits++
+					continue
+				}
+				pending[rec.ID] = &pendingState{order: order, req: PendingRequest{
+					ID:         rec.ID,
+					Payload:    rec.Payload,
+					DeadlineNs: rec.DeadlineNs,
+				}}
+				order++
+			case KindCancel:
+				if p, ok := pending[rec.ID]; ok {
+					p.req.CancelRequested = true
+				} else if _, done := res.Terminal[rec.ID]; !done {
+					res.OrphanTerminals++
+				}
+			case KindTerminal:
+				if _, dup := res.Terminal[rec.ID]; dup {
+					res.DuplicateTerminals++
+					continue
+				}
+				if _, ok := pending[rec.ID]; ok {
+					delete(pending, rec.ID)
+				} else {
+					res.OrphanTerminals++
+				}
+				res.Terminal[rec.ID] = TerminalRecord{Outcome: rec.Outcome, Reason: rec.Reason}
+			}
+		}
+	}
+
+	res.Pending = make([]PendingRequest, 0, len(pending))
+	states := make([]*pendingState, 0, len(pending))
+	for _, p := range pending {
+		states = append(states, p)
+	}
+	// Admit order, reconstructed from scan order.
+	for i := 1; i < len(states); i++ {
+		for k := i; k > 0 && states[k].order < states[k-1].order; k-- {
+			states[k], states[k-1] = states[k-1], states[k]
+		}
+	}
+	for _, p := range states {
+		res.Pending = append(res.Pending, p.req)
+	}
+	return res, nil
+}

@@ -39,6 +39,46 @@ batchmaker_cells_executed_total{cell_type="lstm"} 40
 # HELP batchmaker_inflight_requests Admitted requests not yet resolved.
 # TYPE batchmaker_inflight_requests gauge
 batchmaker_inflight_requests 4
+# HELP batchmaker_journal_batch_records Records committed per group-commit batch.
+# TYPE batchmaker_journal_batch_records histogram
+batchmaker_journal_batch_records_bucket{le="1"} 1
+batchmaker_journal_batch_records_bucket{le="2"} 1
+batchmaker_journal_batch_records_bucket{le="4"} 2
+batchmaker_journal_batch_records_bucket{le="8"} 3
+batchmaker_journal_batch_records_bucket{le="16"} 3
+batchmaker_journal_batch_records_bucket{le="32"} 3
+batchmaker_journal_batch_records_bucket{le="64"} 4
+batchmaker_journal_batch_records_bucket{le="128"} 4
+batchmaker_journal_batch_records_bucket{le="+Inf"} 5
+batchmaker_journal_batch_records_sum 276
+batchmaker_journal_batch_records_count 5
+# HELP batchmaker_journal_bytes_written_total Journal bytes written, framing included.
+# TYPE batchmaker_journal_bytes_written_total counter
+batchmaker_journal_bytes_written_total 2048
+# HELP batchmaker_journal_commit_seconds Append to durable-commit latency (group-commit wait included).
+# TYPE batchmaker_journal_commit_seconds summary
+batchmaker_journal_commit_seconds{quantile="0.5"} 0.001
+batchmaker_journal_commit_seconds{quantile="0.9"} 0.002
+batchmaker_journal_commit_seconds{quantile="0.99"} 0.002
+batchmaker_journal_commit_seconds_sum 0.005
+batchmaker_journal_commit_seconds_count 4
+# HELP batchmaker_journal_errors_total Journal write/fsync failures (nonzero means lossy mode).
+# TYPE batchmaker_journal_errors_total counter
+batchmaker_journal_errors_total 1
+# HELP batchmaker_journal_fsyncs_total Journal fsync calls.
+# TYPE batchmaker_journal_fsyncs_total counter
+batchmaker_journal_fsyncs_total 4
+# HELP batchmaker_journal_records_total Durably committed journal records by kind.
+# TYPE batchmaker_journal_records_total counter
+batchmaker_journal_records_total{kind="admit"} 10
+batchmaker_journal_records_total{kind="cancel"} 1
+batchmaker_journal_records_total{kind="terminal"} 9
+# HELP batchmaker_journal_recovered_requests_total Journaled requests re-admitted by recovery replay.
+# TYPE batchmaker_journal_recovered_requests_total counter
+batchmaker_journal_recovered_requests_total 5
+# HELP batchmaker_journal_replayed_records_total Intact journal records scanned during crash recovery.
+# TYPE batchmaker_journal_replayed_records_total counter
+batchmaker_journal_replayed_records_total 20
 # HELP batchmaker_padding_waste_ratio 1 - used/capacity batch slots: fraction of batch capacity wasted.
 # TYPE batchmaker_padding_waste_ratio gauge
 batchmaker_padding_waste_ratio 0.25

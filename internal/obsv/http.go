@@ -8,7 +8,10 @@ import (
 )
 
 // Health is the /healthz payload. Serving reports 200; draining, stopped,
-// or overloaded report 503 so load balancers stop routing new work.
+// or overloaded report 503 so load balancers stop routing new work. A
+// degraded journal is a detail, not a failure: the server still answers
+// 200 (it serves correctly — durability is what's lost), and operators
+// alert on the detail fields or the journal error counter.
 type Health struct {
 	Status       string `json:"status"` // "serving", "draining", "stopped", "overloaded"
 	Draining     bool   `json:"draining"`
@@ -16,6 +19,10 @@ type Health struct {
 	Overloaded   bool   `json:"overloaded"`
 	LiveRequests int    `json:"live_requests"`
 	QueuedCells  int    `json:"queued_cells"`
+	// JournalDegraded is true when the request journal hit a write/fsync
+	// error and flipped to lossy mode; JournalError carries the cause.
+	JournalDegraded bool   `json:"journal_degraded,omitempty"`
+	JournalError    string `json:"journal_error,omitempty"`
 }
 
 // OK reports whether the health state should answer 200.

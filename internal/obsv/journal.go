@@ -1,0 +1,81 @@
+package obsv
+
+// Journal metric family names. The durable request journal
+// (internal/journal) publishes these through the same unified registry as
+// the serving families, so one /metrics scrape covers both the execution
+// pipeline and the durability layer. The golden exposition test pins them.
+const (
+	MetricJournalRecords       = "batchmaker_journal_records_total"
+	MetricJournalErrors        = "batchmaker_journal_errors_total"
+	MetricJournalFsyncs        = "batchmaker_journal_fsyncs_total"
+	MetricJournalBytes         = "batchmaker_journal_bytes_written_total"
+	MetricJournalCommitSeconds = "batchmaker_journal_commit_seconds"
+	MetricJournalBatchRecords  = "batchmaker_journal_batch_records"
+	MetricJournalReplayed      = "batchmaker_journal_replayed_records_total"
+	MetricJournalRecovered     = "batchmaker_journal_recovered_requests_total"
+)
+
+// Journal record kind label values for MetricJournalRecords.
+const (
+	JournalKindAdmit    = "admit"
+	JournalKindCancel   = "cancel"
+	JournalKindTerminal = "terminal"
+)
+
+// JournalBatchBuckets are the inclusive upper bounds of the group-commit
+// batch-size histogram (records committed per fsync batch).
+var JournalBatchBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// JournalMetrics groups the durable-journal handles. Built against a nil
+// registry it is fully inert (every handle nil, every method a no-op), so
+// the journal never branches on whether metrics are wired.
+type JournalMetrics struct {
+	// AdmitRecords / CancelRecords / TerminalRecords count committed
+	// records by kind.
+	AdmitRecords, CancelRecords, TerminalRecords *Counter
+	// Errors counts write/fsync/rotation failures. A nonzero value with a
+	// running server means the journal degraded to lossy mode.
+	Errors *Counter
+	// Fsyncs counts fsync calls issued by the flush loop.
+	Fsyncs *Counter
+	// Bytes counts journal bytes written (framing included).
+	Bytes *Counter
+	// Commit is the append→durable latency distribution (group-commit wait
+	// included), as windowed quantiles.
+	Commit *Quantiles
+	// BatchRecords is the group-commit batch-size histogram: records
+	// committed together per flush.
+	BatchRecords *Histogram
+	// Replayed counts intact records scanned during crash recovery.
+	Replayed *Counter
+	// Recovered counts journaled requests re-admitted by recovery replay.
+	Recovered *Counter
+}
+
+// NewJournalMetrics registers the journal families in reg (which may be
+// nil, yielding an inert instance).
+func NewJournalMetrics(reg *Registry) *JournalMetrics {
+	kind := func(v string) *Counter {
+		return reg.CounterVec(MetricJournalRecords,
+			"Durably committed journal records by kind.",
+			[]string{"kind"}, []string{v})
+	}
+	return &JournalMetrics{
+		AdmitRecords:    kind(JournalKindAdmit),
+		CancelRecords:   kind(JournalKindCancel),
+		TerminalRecords: kind(JournalKindTerminal),
+		Errors: reg.Counter(MetricJournalErrors,
+			"Journal write/fsync failures (nonzero means lossy mode)."),
+		Fsyncs: reg.Counter(MetricJournalFsyncs, "Journal fsync calls."),
+		Bytes:  reg.Counter(MetricJournalBytes, "Journal bytes written, framing included."),
+		Commit: reg.Summary(MetricJournalCommitSeconds,
+			"Append to durable-commit latency (group-commit wait included).",
+			quantileWindow, latencyQuantiles),
+		BatchRecords: reg.Histogram(MetricJournalBatchRecords,
+			"Records committed per group-commit batch.", JournalBatchBuckets),
+		Replayed: reg.Counter(MetricJournalReplayed,
+			"Intact journal records scanned during crash recovery."),
+		Recovered: reg.Counter(MetricJournalRecovered,
+			"Journaled requests re-admitted by recovery replay."),
+	}
+}

@@ -53,6 +53,24 @@ func goldenObserver() *Observer {
 	for i := 1; i <= 10; i++ { // capacity 8 → 2 dropped
 		ring.Write(Record{Kind: KindAdmit, Req: int64(i), T0: int64(i)})
 	}
+
+	// Durable-journal families, registered in the same registry as the
+	// serving stack (one scrape covers both).
+	jm := NewJournalMetrics(o.Metrics.Registry())
+	jm.AdmitRecords.Add(10)
+	jm.CancelRecords.Inc()
+	jm.TerminalRecords.Add(9)
+	jm.Errors.Inc()
+	jm.Fsyncs.Add(4)
+	jm.Bytes.Add(2048)
+	for i := 1; i <= 4; i++ {
+		jm.Commit.Observe(time.Duration(i) * 500 * time.Microsecond)
+	}
+	for _, n := range []int64{1, 3, 8, 64, 200} {
+		jm.BatchRecords.Observe(n)
+	}
+	jm.Replayed.Add(20)
+	jm.Recovered.Add(5)
 	return o
 }
 

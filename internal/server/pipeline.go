@@ -8,6 +8,7 @@ import (
 
 	"batchmaker/internal/cellgraph"
 	"batchmaker/internal/core"
+	"batchmaker/internal/journal"
 	"batchmaker/internal/obsv"
 )
 
@@ -67,11 +68,11 @@ type deadlineEntry struct {
 
 type deadlineHeap []deadlineEntry
 
-func (h deadlineHeap) Len() int            { return len(h) }
-func (h deadlineHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
-func (h deadlineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *deadlineHeap) Push(x any)         { *h = append(*h, x.(deadlineEntry)) }
-func (h *deadlineHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(deadlineEntry)) }
+func (h *deadlineHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // rpState is the request processor's private state. Nothing here is shared:
 // other stages reach it only through channels.
@@ -189,7 +190,26 @@ func (rp *rpState) admit(cmd admitCmd) error {
 	s.trace.add(Event{At: time.Now(), Kind: EventAdmit, Req: r.id})
 	s.statsMu.Unlock()
 	s.obs.admit(r.id, r.admittedNs, len(rp.reqs), rp.queuedCells)
+	if s.journal != nil && !r.replayed {
+		// Enqueued here, on the request processor's goroutine, so the admit
+		// record always precedes this request's terminal record in the
+		// journal's FIFO. The enqueue never blocks; only the submitting
+		// caller waits on jwait.
+		var dl int64
+		if !r.deadline.IsZero() {
+			dl = r.deadline.UnixNano()
+		}
+		r.jwait = s.journal.AppendAdmit(uint64(r.id), r.payload, dl)
+	}
 	return nil
+}
+
+// jterminal journals a terminal outcome. Called at every terminal site,
+// always on the request-processor goroutine, before resolve.
+func (s *Server) jterminal(id core.RequestID, outcome journal.Outcome, reason string) {
+	if s.journal != nil {
+		s.journal.AppendTerminal(uint64(id), outcome, reason)
+	}
 }
 
 // addSubgraphs round-trips one batch of subgraph specs to the scheduler
@@ -227,10 +247,12 @@ func (rp *rpState) terminate(r *request, cause error) bool {
 	s.slCmds <- slCmd{kind: slCancel, req: r.id}
 	kind := EventCancel
 	obsKind := obsv.KindCancel
+	jOutcome := journal.OutcomeCancelled
 	s.statsMu.Lock()
 	if errors.Is(cause, ErrExpired) {
 		kind = EventExpire
 		obsKind = obsv.KindExpire
+		jOutcome = journal.OutcomeExpired
 		s.outcomes.Expired++
 	} else {
 		s.outcomes.Cancelled++
@@ -238,6 +260,7 @@ func (rp *rpState) terminate(r *request, cause error) bool {
 	s.trace.add(Event{At: time.Now(), Kind: kind, Req: r.id})
 	s.statsMu.Unlock()
 	s.obs.terminal(r, obsKind, time.Now().UnixNano())
+	s.jterminal(r.id, jOutcome, cause.Error())
 	rp.resolve(r, cause)
 	return true
 }
@@ -287,6 +310,7 @@ func (rp *rpState) complete(rec completion) {
 			s.trace.add(Event{At: time.Now(), Kind: EventComplete, Req: r.id})
 			s.statsMu.Unlock()
 			s.obs.terminal(r, obsv.KindComplete, time.Now().UnixNano())
+			s.jterminal(r.id, journal.OutcomeCompleted, "")
 			rp.resolve(r, nil)
 		}
 	}
@@ -308,6 +332,7 @@ func (rp *rpState) fail(r *request, err error) {
 	s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
 	s.statsMu.Unlock()
 	s.obs.terminal(r, obsv.KindFail, time.Now().UnixNano())
+	s.jterminal(r.id, journal.OutcomeFailed, err.Error())
 	rp.resolve(r, err)
 }
 
@@ -327,7 +352,9 @@ func (rp *rpState) expireDue() {
 		s.trace.add(Event{At: time.Now(), Kind: EventExpire, Req: r.id})
 		s.statsMu.Unlock()
 		s.obs.terminal(r, obsv.KindExpire, time.Now().UnixNano())
-		rp.resolve(r, fmt.Errorf("%w: deadline %v passed", ErrExpired, r.deadline.Format(time.RFC3339Nano)))
+		err := fmt.Errorf("%w: deadline %v passed", ErrExpired, r.deadline.Format(time.RFC3339Nano))
+		s.jterminal(r.id, journal.OutcomeExpired, err.Error())
+		rp.resolve(r, err)
 	}
 }
 
@@ -418,6 +445,7 @@ func (rp *rpState) stop() {
 		s.trace.add(Event{At: time.Now(), Kind: EventFail, Req: r.id})
 		s.statsMu.Unlock()
 		s.obs.terminal(r, obsv.KindFail, time.Now().UnixNano())
+		s.jterminal(r.id, journal.OutcomeFailed, ErrStopped.Error())
 		rp.resolve(r, ErrStopped)
 	}
 	rp.maybeDrained()

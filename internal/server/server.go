@@ -55,10 +55,24 @@ import (
 
 	"batchmaker/internal/cellgraph"
 	"batchmaker/internal/core"
+	"batchmaker/internal/journal"
 	"batchmaker/internal/metrics"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/tensor"
 )
+
+// RequestJournal is the durability hook the server drives: admit records
+// are enqueued by the request processor the moment a request is admitted
+// (so an admit always precedes its terminal in the journal's FIFO),
+// terminal records as requests resolve, and cancel-intent records from
+// Handle.Cancel. *journal.Journal implements it. All methods must be
+// non-blocking: the journal batches and acknowledges asynchronously, and
+// only the submitting caller waits on AppendAdmit's channel.
+type RequestJournal interface {
+	AppendAdmit(id uint64, payload []byte, deadlineNs int64) <-chan error
+	AppendCancel(id uint64)
+	AppendTerminal(id uint64, outcome journal.Outcome, reason string)
+}
 
 // Lifecycle errors. ErrOverloaded, ErrDraining and ErrStopped are admission
 // rejections (the request never entered the system); ErrExpired, ErrCancelled
@@ -139,6 +153,15 @@ type Config struct {
 	// RetryBackoff is the first retry's backoff, doubled per attempt
 	// (default 500µs).
 	RetryBackoff time.Duration
+
+	// Journal, when non-nil, receives request lifecycle records: admits
+	// (with SubmitOpts.JournalPayload), cancel intents, and terminal
+	// outcomes. The nil path costs nothing — no records, no allocations.
+	Journal RequestJournal
+	// FirstRequestID, when positive, floors request-ID allocation: the
+	// first assigned ID is FirstRequestID+1. Recovery sets it to the
+	// journal's MaxID so replayed and fresh requests never collide.
+	FirstRequestID uint64
 }
 
 // request is one admitted request's shared record. Ownership is split by
@@ -160,6 +183,18 @@ type request struct {
 	done    chan struct{}
 	results map[string]*tensor.Tensor
 	err     error
+	// payload is the caller's serialized request for the journal's admit
+	// record; replayed marks a recovery re-admission (already journaled by
+	// the pre-crash process, so admit is not re-recorded); jwait, when
+	// non-nil, is the admit record's durability acknowledgement. Nothing
+	// in the serving path waits for it — admission, execution, and result
+	// delivery all run ahead of the group commit; Handle.AdmitDurable is
+	// the explicit barrier for callers that need it.
+	payload  []byte
+	replayed bool
+	jwait    <-chan error
+	jonce    sync.Once
+	jerr     error
 	// deadline, when nonzero, expires the request (enforced by the request
 	// processor's timer and re-checked at task gather time).
 	deadline time.Time
@@ -185,6 +220,20 @@ type request struct {
 // dead reports whether this request's rows should be skipped at gather time.
 func (r *request) dead() bool { return r.resolved.Load() || r.poisoned.Load() }
 
+// durableAdmit blocks until the journal acknowledged this request's admit
+// record and latches the outcome; repeated and concurrent calls are safe.
+// Journal-less requests return nil immediately. The journal always resolves
+// the ack — commit, degradation, queue overflow, Close, and Kill each send
+// exactly one value — so this never blocks indefinitely.
+func (r *request) durableAdmit() error {
+	r.jonce.Do(func() {
+		if r.jwait != nil {
+			r.jerr = <-r.jwait
+		}
+	})
+	return r.jerr
+}
+
 // Server is a live cellular-batching inference server.
 type Server struct {
 	cfg   Config
@@ -196,6 +245,10 @@ type Server struct {
 	faults       FaultInjector
 	maxRetries   int
 	retryBackoff time.Duration
+	// journal is the durability hook (nil: journaling off). Immutable
+	// after New; only the request processor and Handle.Cancel touch it —
+	// never the worker hot path.
+	journal RequestJournal
 	// baseAllocs is the process-wide heap-allocation count when the server
 	// started; Stats divides the delta by tasks run. Immutable after New.
 	baseAllocs uint64
@@ -232,9 +285,9 @@ type Server struct {
 	statsMu        sync.Mutex
 	tasksRun       int
 	cellsRun       int
-	execNanos      int64 // total worker gather+execute time
-	queuedCells    int // mirrored from the request processor
-	liveRequests   int // mirrored from the request processor
+	execNanos      int64       // total worker gather+execute time
+	queuedCells    int         // mirrored from the request processor
+	liveRequests   int         // mirrored from the request processor
 	batchesBy      map[int]int // batch size -> count
 	outcomes       metrics.Outcomes
 	quarantined    map[string]int // cell type -> recovered panic count
@@ -307,6 +360,7 @@ func New(cfg Config) (*Server, error) {
 		cells:         cells,
 		outWidths:     outWidths,
 		faults:        cfg.Faults,
+		journal:       cfg.Journal,
 		baseAllocs:    heapAllocObjects(),
 		maxRetries:    maxRetries,
 		retryBackoff:  backoff,
@@ -325,6 +379,9 @@ func New(cfg Config) (*Server, error) {
 		workerDepth:   make([]int, cfg.Workers),
 		dispatchLat:   metrics.NewWindow(4096),
 		obs:           newServerObs(cfg.Obs, cfg.Cells, cfg.Workers),
+	}
+	if cfg.FirstRequestID > 0 {
+		s.nextID.Store(int64(cfg.FirstRequestID))
 	}
 	if s.obs != nil {
 		// Refresh the trace ring's drop-oldest counter at exposition time.
@@ -394,7 +451,10 @@ func (h *Handle) Done() <-chan struct{} { return h.req.done }
 func (h *Handle) ID() core.RequestID { return h.req.id }
 
 // Result returns the request's outputs after Done is closed. Calling it
-// earlier returns an error.
+// earlier returns an error. Delivery is optimistic with respect to the
+// journal: it does not wait for the admit record's durability ack (see
+// AdmitDurable for the explicit barrier), so journaling costs the serving
+// path nothing beyond the group commit's own background work.
 func (h *Handle) Result() (map[string]*tensor.Tensor, error) {
 	select {
 	case <-h.req.done:
@@ -404,12 +464,31 @@ func (h *Handle) Result() (map[string]*tensor.Tensor, error) {
 	}
 }
 
+// AdmitDurable blocks until the journal acknowledged this request's admit
+// record: nil means the admission is durable per the journal's sync policy;
+// otherwise the ack's reason (degraded to lossy mode, queue overflow,
+// closed). Requests on a journal-less server return nil immediately.
+//
+// Results are otherwise delivered without waiting for this ack: execution
+// is deterministic and replay is at-least-once, so a crash in the ack
+// window re-executes the request to bit-identical outputs rather than
+// losing it. Callers that need admission durability before acting on a
+// result take the barrier explicitly here.
+func (h *Handle) AdmitDurable() error { return h.req.durableAdmit() }
+
 // Cancel terminates the request if it has not resolved yet: its queued
 // nodes are purged from the scheduler's ready queues (freeing their batch
 // slots), nodes already inside in-flight batched tasks are skipped at
 // execution, and the request resolves with ErrCancelled. It reports whether
 // this call cancelled the request (false if it had already resolved).
 func (h *Handle) Cancel() bool {
+	// Journal the cancel intent before acting on it: if the process dies
+	// between this record and the terminal record, recovery resolves the
+	// request as cancelled instead of re-executing work the caller had
+	// already abandoned.
+	if h.s.journal != nil {
+		h.s.journal.AppendCancel(uint64(h.req.id))
+	}
 	return h.s.terminate(h.req, ErrCancelled)
 }
 
@@ -433,6 +512,16 @@ type SubmitOpts struct {
 	// request stops consuming batch slots (its queued nodes are purged
 	// before the next task forms) and resolves with ErrExpired.
 	Deadline time.Time
+
+	// JournalPayload is the caller's full serialized request, written into
+	// the journal's admit record so recovery can reconstruct and replay the
+	// request. Ignored when the server has no journal.
+	JournalPayload []byte
+	// ReplayID, when nonzero, re-admits a journaled request under its
+	// original ID instead of allocating a fresh one. The admit record is
+	// not re-journaled (the pre-crash process already wrote it); the
+	// request's eventual terminal record is. Recovery-replay only.
+	ReplayID core.RequestID
 }
 
 // SubmitAsync registers a request's cell graph for execution and returns
@@ -477,7 +566,20 @@ func (s *Server) SubmitAsyncOpts(g *cellgraph.Graph, opts SubmitOpts) (*Handle, 
 	state.PreallocOutputs(func(id cellgraph.NodeID) map[string]int {
 		return s.outWidths[g.Nodes[id].Cell.TypeKey()]
 	})
-	id := core.RequestID(s.nextID.Add(1))
+	var id core.RequestID
+	if opts.ReplayID != 0 {
+		// Recovery replay keeps the original ID and floors the allocator
+		// above it, so fresh post-recovery submissions never collide.
+		id = opts.ReplayID
+		for {
+			cur := s.nextID.Load()
+			if int64(id) <= cur || s.nextID.CompareAndSwap(cur, int64(id)) {
+				break
+			}
+		}
+	} else {
+		id = core.RequestID(s.nextID.Add(1))
+	}
 	tracker, err := core.NewTracker(id, g)
 	if err != nil {
 		return nil, err
@@ -489,6 +591,8 @@ func (s *Server) SubmitAsyncOpts(g *cellgraph.Graph, opts SubmitOpts) (*Handle, 
 		state:    state,
 		done:     make(chan struct{}),
 		deadline: opts.Deadline,
+		payload:  opts.JournalPayload,
+		replayed: opts.ReplayID != 0,
 	}
 	reply := make(chan error, 1)
 	select {
@@ -499,6 +603,10 @@ func (s *Server) SubmitAsyncOpts(g *cellgraph.Graph, opts SubmitOpts) (*Handle, 
 	if err := <-reply; err != nil {
 		return nil, err
 	}
+	// The admit record's durability ack is deliberately NOT awaited here —
+	// or anywhere on the serving path: the group commit runs entirely in
+	// the background, and Handle.AdmitDurable is the explicit barrier for
+	// callers that need admission durability before acting on the request.
 	return &Handle{s: s, req: req}, nil
 }
 
