@@ -40,6 +40,8 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -99,6 +101,9 @@ func errorCode(err error) string {
 
 type appConfig struct {
 	Vocab, Embed, Hidden, Workers, MaxQueue int
+	// Pools, when non-empty, shards execution into per-device worker pools
+	// (one entry per device, workers per pool); Workers is then ignored.
+	Pools []int
 	// Deadline, when positive, is the per-request SLA.
 	Deadline time.Duration
 	// JournalDir, when set, enables the durable request journal: admitted
@@ -107,6 +112,24 @@ type appConfig struct {
 	JournalDir string
 	// JournalSync is the fsync policy: "none", "batch" (default), "always".
 	JournalSync string
+}
+
+// parsePools turns the -pools flag ("2,2", "1,1,1,1") into workers-per-pool
+// counts. Empty input means the single-pool -workers shorthand.
+func parsePools(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -pools entry %q: want positive workers per pool", p)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 type app struct {
@@ -134,6 +157,9 @@ func newApp(cfg appConfig) (*app, error) {
 			{Cell: a.dec, MaxBatch: 32, Priority: 1},
 		},
 		MaxQueuedRequests: cfg.MaxQueue,
+	}
+	for _, n := range cfg.Pools {
+		scfg.Devices = append(scfg.Devices, server.DeviceConfig{Workers: n})
 	}
 	var pending []journal.PendingRequest
 	if cfg.JournalDir != "" {
@@ -356,6 +382,7 @@ func main() {
 		embed    = flag.Int("embed", 64, "embedding width")
 		hidden   = flag.Int("hidden", 256, "hidden width")
 		workers  = flag.Int("workers", 2, "worker count")
+		pools    = flag.String("pools", "", "comma-separated workers per device pool, e.g. \"2,2\" for two 2-worker devices; overrides -workers (empty = one pool of -workers)")
 		maxQueue = flag.Int("max-queue", 0, "max concurrently admitted requests; excess is shed with code \"overloaded\" (0 = unlimited)")
 		deadline = flag.Duration("deadline", 0, "per-request SLA; expired requests stop batching and answer code \"expired\" (0 = none)")
 		demo     = flag.Bool("demo", false, "drive the server with a built-in client and exit")
@@ -381,9 +408,14 @@ func main() {
 		}()
 	}
 
+	poolSizes, err := parsePools(*pools)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	a, err := newApp(appConfig{
 		Vocab: *vocab, Embed: *embed, Hidden: *hidden,
-		Workers: *workers, MaxQueue: *maxQueue, Deadline: *deadline,
+		Workers: *workers, Pools: poolSizes, MaxQueue: *maxQueue, Deadline: *deadline,
 		JournalDir: *jdir, JournalSync: *jsync,
 	})
 	if err != nil {

@@ -55,6 +55,30 @@ func (d *GuardDurability) Ratio() float64 {
 	return d.JournalOnNsPerCell / d.JournalOffNsPerCell
 }
 
+// GuardScalingPoint is one pool count's recorded throughput on the live
+// pool-scaling curve.
+type GuardScalingPoint struct {
+	Pools     int     `json:"pools"`
+	ReqPerSec float64 `json:"requests_per_sec"`
+}
+
+// GuardScaling is the recorded multi-pool scaling record: the measured
+// 1→N-pool curve plus the gated 2-pool-over-1-pool speedup.
+type GuardScaling struct {
+	Points     []GuardScalingPoint `json:"points"`
+	Speedup2x1 float64             `json:"speedup_2_pools_over_1"`
+}
+
+// point returns the recorded entry for one pool count, or nil.
+func (s *GuardScaling) point(pools int) *GuardScalingPoint {
+	for i := range s.Points {
+		if s.Points[i].Pools == pools {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}
+
 // GuardReport is the slice of BENCH_server.json the regression guard reads.
 // Current reports carry one entry per GOMAXPROCS configuration under
 // "configs"; reports from before the multi-config schema carried a single
@@ -69,6 +93,9 @@ type GuardReport struct {
 	// Durability is the journal-on/off overhead record; nil in reports
 	// recorded before the durable journal existed.
 	Durability *GuardDurability `json:"durability"`
+	// Scaling is the multi-pool scaling record; nil in reports recorded
+	// before device pools existed.
+	Scaling *GuardScaling `json:"scaling"`
 
 	// Legacy single-config fields.
 	GlobalLock       GuardEngine `json:"global_lock"`
@@ -201,6 +228,42 @@ func (r *GuardReport) CheckJournalOverhead(maxRatio float64) error {
 	if ratio > maxRatio {
 		return fmt.Errorf("bench: journal-on costs %.1f ns/cell vs %.1f off (%.3fx, budget %.2fx) — group commit is no longer absorbing the durability cost",
 			d.JournalOnNsPerCell, d.JournalOffNsPerCell, ratio, maxRatio)
+	}
+	return nil
+}
+
+// CheckScaling fails when the recorded 2-pool run does not reach minRatio
+// times the 1-pool run's throughput on the same mixed workload. CI runs it
+// with 1.5: two device pools must buy at least half a pool's worth of real
+// speedup, or locality-aware dispatch has stopped overlapping device time.
+// Reports recorded before device pools (section absent) are skipped. The
+// recorded speedup is cross-checked against the curve's own points so a
+// hand-edited report cannot disagree with itself.
+func (r *GuardReport) CheckScaling(minRatio float64) error {
+	s := r.Scaling
+	if s == nil {
+		return nil
+	}
+	p1, p2 := s.point(1), s.point(2)
+	if p1 == nil || p2 == nil {
+		return fmt.Errorf("bench: scaling record is missing the 1- or 2-pool point (%d points)", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.ReqPerSec <= 0 {
+			return fmt.Errorf("bench: scaling point %d pools records non-positive throughput %.1f", p.Pools, p.ReqPerSec)
+		}
+	}
+	ratio := p2.ReqPerSec / p1.ReqPerSec
+	if s.Speedup2x1 != 0 {
+		const tol = 1e-6
+		if d := ratio - s.Speedup2x1; d > tol || d < -tol {
+			return fmt.Errorf("bench: recorded scaling speedup %.6f disagrees with its points (%.6f) — stale or edited report",
+				s.Speedup2x1, ratio)
+		}
+	}
+	if ratio < minRatio {
+		return fmt.Errorf("bench: 2 pools serve %.1f req/s vs %.1f on 1 pool (%.3fx, minimum %.2fx) — device pools are no longer scaling",
+			p2.ReqPerSec, p1.ReqPerSec, ratio, minRatio)
 	}
 	return nil
 }

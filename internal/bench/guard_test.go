@@ -24,6 +24,11 @@ const ciObsOverheadBudget = 1.05
 // journal-off engine per cell.
 const ciJournalOverheadBudget = 1.10
 
+// ciScalingBudget bounds the pool-scaling floor: two single-worker device
+// pools must serve the recorded mixed workload at no less than 1.5x the
+// one-pool throughput.
+const ciScalingBudget = 1.5
+
 // TestBenchGuard is the CI regression gate: the checked-in BENCH_server.json
 // must show every recorded configuration's pipelined engine at or above the
 // global-lock baseline and inside the allocation budget.
@@ -48,6 +53,9 @@ func TestBenchGuard(t *testing.T) {
 	if err := r.CheckJournalOverhead(ciJournalOverheadBudget); err != nil {
 		t.Fatalf("journal overhead regression: %v", err)
 	}
+	if err := r.CheckScaling(ciScalingBudget); err != nil {
+		t.Fatalf("pool-scaling regression: %v", err)
+	}
 	for _, c := range r.Configs {
 		t.Logf("%s: pipelined %.0f req/s (%.1f allocs/cell) vs global-lock %.0f req/s (%.2fx)",
 			c.Label, c.Pipelined.ReqPerSec, c.Pipelined.AllocsPerCell, c.GlobalLock.ReqPerSec, c.Speedup())
@@ -59,6 +67,12 @@ func TestBenchGuard(t *testing.T) {
 	if d := r.Durability; d != nil {
 		t.Logf("durability: journal on %.0f ns/cell vs off %.0f ns/cell (%.3fx)",
 			d.JournalOnNsPerCell, d.JournalOffNsPerCell, d.Ratio())
+	}
+	if s := r.Scaling; s != nil {
+		for _, p := range s.Points {
+			t.Logf("scaling: %d pools %.0f req/s", p.Pools, p.ReqPerSec)
+		}
+		t.Logf("scaling: 2-pool speedup %.3fx", s.Speedup2x1)
 	}
 }
 
@@ -298,6 +312,86 @@ func TestGuardDurabilitySkipsLegacyReports(t *testing.T) {
 	}
 	if err := r.CheckJournalOverhead(1.10); err != nil {
 		t.Fatalf("overhead gate fired on a legacy report: %v", err)
+	}
+}
+
+func TestGuardDetectsScalingRegression(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"scaling": {
+			"points": [
+				{"pools": 1, "requests_per_sec": 300},
+				{"pools": 2, "requests_per_sec": 360}
+			],
+			"speedup_2_pools_over_1": 1.2
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.CheckScaling(1.5)
+	if err == nil {
+		t.Fatal("guard accepted a 1.2x pool speedup against a 1.5x floor")
+	}
+	if !strings.Contains(err.Error(), "1.200x") {
+		t.Fatalf("error %q does not report the measured ratio", err)
+	}
+	if err := r.CheckScaling(1.1); err != nil {
+		t.Fatalf("floor 1.1 must accept ratio 1.2: %v", err)
+	}
+}
+
+func TestGuardDetectsInconsistentScalingRecord(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"scaling": {
+			"points": [
+				{"pools": 1, "requests_per_sec": 300},
+				{"pools": 2, "requests_per_sec": 600}
+			],
+			"speedup_2_pools_over_1": 3.5
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckScaling(1.5); err == nil {
+		t.Fatal("guard accepted a scaling record whose speedup disagrees with its points")
+	}
+}
+
+func TestGuardDetectsIncompleteScalingRecord(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"scaling": {"points": [{"pools": 2, "requests_per_sec": 600}]}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckScaling(1.5); err == nil {
+		t.Fatal("guard accepted a scaling record without a 1-pool baseline")
+	}
+}
+
+func TestGuardScalingSkipsLegacyReports(t *testing.T) {
+	// A report recorded before device pools (section absent) must pass the
+	// scaling gate untouched.
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckScaling(1.5); err != nil {
+		t.Fatalf("scaling gate fired on a legacy report: %v", err)
 	}
 }
 

@@ -182,6 +182,67 @@ func recordJournalPairs(t *testing.T, o LiveOptions, pairs int) (on, off LiveRes
 	return med.on, med.off, med.ratio
 }
 
+// quickScaling is the CI-sized pool-scaling workload.
+func quickScaling(pools int) ScalingOptions {
+	return ScalingOptions{Pools: pools, Clients: 8, RequestsPerClient: 6}
+}
+
+// TestLiveScalingPoolsServeWorkload is the correctness smoke for the
+// pool-scaling benchmark: every pool count must serve the full workload.
+// The throughput floor itself is gated on the recorded report by
+// TestBenchGuard via CheckScaling.
+func TestLiveScalingPoolsServeWorkload(t *testing.T) {
+	for _, pools := range []int{1, 2, 4} {
+		r, err := RunLiveScaling(quickScaling(pools))
+		if err != nil {
+			t.Fatalf("%d pools: %v", pools, err)
+		}
+		if want := 8 * 6; r.Requests != want {
+			t.Fatalf("%d pools served %d requests, want %d", pools, r.Requests, want)
+		}
+		t.Logf("%d pools: %.0f req/s p99=%v", pools, r.ReqPerSec, r.P99)
+	}
+}
+
+// recordScalingPairs measures pool scaling: interleaved pairs of the same
+// mixed workload served from 1 and 2 single-worker pools, reported as the
+// median pair by speedup. Pairing, as in recordPairs, keeps machine-state
+// drift out of the comparison.
+func recordScalingPairs(t *testing.T, o ScalingOptions, pairs int) (one, two ScalingResult, ratio float64) {
+	t.Helper()
+	type pair struct {
+		one, two ScalingResult
+		ratio    float64
+	}
+	run := func(pools int) ScalingResult {
+		oo := o
+		oo.Pools = pools
+		r, err := RunLiveScaling(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	var ps []pair
+	for i := 0; i < pairs; i++ {
+		var pr pair
+		if i%2 == 0 {
+			pr.one = run(1)
+			pr.two = run(2)
+		} else {
+			pr.two = run(2)
+			pr.one = run(1)
+		}
+		pr.ratio = pr.two.ReqPerSec / pr.one.ReqPerSec
+		t.Logf("scaling pair %d: 1 pool %.0f req/s, 2 pools %.0f req/s, ratio %.3f",
+			i, pr.one.ReqPerSec, pr.two.ReqPerSec, pr.ratio)
+		ps = append(ps, pr)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ratio < ps[j].ratio })
+	med := ps[pairs/2]
+	return med.one, med.two, med.ratio
+}
+
 // TestLiveJournaledEngineConverges is the correctness gate for the journaled
 // benchmark arm: the journal-on run must serve the full workload, and its
 // journal must converge — every admitted request durably terminal, nothing
@@ -249,6 +310,14 @@ func TestRecordLiveBench(t *testing.T) {
 	obsOn, obsOff, obsRatio := recordObsPairs(t, o, pairs)
 	t.Logf("=== durability overhead (GOMAXPROCS=%d) ===", prev)
 	jnlOn, jnlOff, jnlRatio := recordJournalPairs(t, o, pairs)
+	t.Logf("=== pool scaling (GOMAXPROCS=%d) ===", prev)
+	so := ScalingOptions{Clients: 16, RequestsPerClient: 10}
+	sOne, sTwo, sRatio := recordScalingPairs(t, so, pairs)
+	sFour, err := RunLiveScaling(func() ScalingOptions { oo := so; oo.Pools = 4; return oo }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scaling: 4 pools %.0f req/s", sFour.ReqPerSec)
 	out := map[string]any{
 		"benchmark": "live-server-throughput",
 		"recorded":  time.Now().UTC().Format("2006-01-02"),
@@ -266,6 +335,15 @@ func TestRecordLiveBench(t *testing.T) {
 			"journal_on_ns_per_cell":  jnlOn.NsPerCell(),
 			"journal_off_ns_per_cell": jnlOff.NsPerCell(),
 			"overhead_ratio":          jnlRatio,
+		},
+		"scaling": map[string]any{
+			"options": so.withDefaults(),
+			"points": []map[string]any{
+				{"pools": 1, "requests_per_sec": sOne.ReqPerSec},
+				{"pools": 2, "requests_per_sec": sTwo.ReqPerSec},
+				{"pools": 4, "requests_per_sec": sFour.ReqPerSec},
+			},
+			"speedup_2_pools_over_1": sRatio,
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,174 @@
+// Live pool-scaling benchmark: the pipelined engine serving the same mixed
+// workload from 1, 2 and 4 single-worker device pools. A deterministic
+// fault-injector dwell stands in for the GPU kernel (the Step itself is
+// CPU-bound math, which cannot scale on a one-core machine; the dwell models
+// the device-occupancy time that does), so added pools overlap their kernel
+// time exactly as added GPUs would. Results land in the "scaling" section of
+// BENCH_server.json, gated by GuardReport.CheckScaling.
+package bench
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/metrics"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/server"
+	"batchmaker/internal/tensor"
+)
+
+// ScalingOptions sizes the live pool-scaling workload.
+type ScalingOptions struct {
+	// Pools is the number of single-worker device pools (default 1).
+	Pools int
+	// Clients is the number of closed-loop submitter goroutines (default 8).
+	Clients int
+	// RequestsPerClient is each client's submission count (default 6).
+	RequestsPerClient int
+	// Hidden is the LSTM hidden width (default 32; small on purpose — the
+	// injected kernel dwell, not the math, must dominate).
+	Hidden int
+	// KernelDwell is the simulated per-task device occupancy (default
+	// 400µs).
+	KernelDwell time.Duration
+	// MaxTasksToSubmit is the per-round task bound (default 2).
+	MaxTasksToSubmit int
+	// Seed offsets the workload RNG (default 1).
+	Seed uint64
+}
+
+func (o ScalingOptions) withDefaults() ScalingOptions {
+	if o.Pools == 0 {
+		o.Pools = 1
+	}
+	if o.Clients == 0 {
+		o.Clients = 8
+	}
+	if o.RequestsPerClient == 0 {
+		o.RequestsPerClient = 6
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 32
+	}
+	if o.KernelDwell == 0 {
+		o.KernelDwell = 400 * time.Microsecond
+	}
+	if o.MaxTasksToSubmit == 0 {
+		o.MaxTasksToSubmit = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ScalingResult is one pool count's measurement.
+type ScalingResult struct {
+	Pools     int           `json:"pools"`
+	Requests  int           `json:"requests"`
+	Cells     int           `json:"cells"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	ReqPerSec float64       `json:"requests_per_sec"`
+	P50       time.Duration `json:"latency_p50_ns"`
+	P99       time.Duration `json:"latency_p99_ns"`
+}
+
+// kernelPacer injects a fixed dwell before every Step, standing in for the
+// batched kernel's device time.
+type kernelPacer struct{ dwell time.Duration }
+
+// Inject implements server.FaultInjector.
+func (p kernelPacer) Inject(typeKey string, batch int) server.FaultDecision {
+	return server.FaultDecision{Kind: server.FaultDelay, Delay: p.dwell}
+}
+
+// RunLiveScaling serves a fixed two-cell-type mix of LSTM chains from
+// o.Pools single-worker device pools and reports closed-loop throughput.
+// Chains alternate between the two types per request, so with two pools the
+// weight-pin assignment puts one type on each and locality-aware dispatch
+// keeps each pool's worker on its own type until it runs dry.
+func RunLiveScaling(o ScalingOptions) (ScalingResult, error) {
+	o = o.withDefaults()
+	cellA := rnn.NewLSTMCell("lstm-a", 32, o.Hidden, tensor.NewRNG(o.Seed+7))
+	cellB := rnn.NewLSTMCell("lstm-b", 32, o.Hidden, tensor.NewRNG(o.Seed+11))
+	rng := tensor.NewRNG(o.Seed)
+	n := o.Clients * o.RequestsPerClient
+	inputs := make([]*tensor.Tensor, n)
+	cells := 0
+	for i := range inputs {
+		steps := 4 + rng.Intn(9) // chains of 4..12 cells
+		inputs[i] = tensor.RandUniform(rng, 1, steps, 32)
+		cells += steps
+	}
+	cfg := server.Config{
+		MaxTasksToSubmit: o.MaxTasksToSubmit,
+		Cells: []server.CellSpec{
+			{Cell: cellA, MaxBatch: 16, Weight: 1},
+			{Cell: cellB, MaxBatch: 16, Weight: 1},
+		},
+		Faults: kernelPacer{dwell: o.KernelDwell},
+	}
+	for p := 0; p < o.Pools; p++ {
+		cfg.Devices = append(cfg.Devices, server.DeviceConfig{Workers: 1})
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return ScalingResult{}, err
+	}
+	defer srv.Stop()
+
+	graphs := make([]*cellgraph.Graph, n)
+	for i := range graphs {
+		cell := cellA
+		if i%2 == 1 {
+			cell = cellB
+		}
+		g, err := cellgraph.UnfoldChain(cell, inputs[i])
+		if err != nil {
+			return ScalingResult{}, err
+		}
+		graphs[i] = g
+	}
+
+	ctx := context.Background()
+	rec := metrics.NewWindow(n)
+	var recMu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, o.Clients)
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < o.RequestsPerClient; i++ {
+				g := graphs[c*o.RequestsPerClient+i]
+				t0 := time.Now()
+				if _, err := srv.Submit(ctx, g); err != nil {
+					errs[c] = err
+					return
+				}
+				recMu.Lock()
+				rec.Add(time.Since(t0))
+				recMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ScalingResult{}, err
+		}
+	}
+	return ScalingResult{
+		Pools:     o.Pools,
+		Requests:  n,
+		Cells:     cells,
+		Elapsed:   elapsed,
+		ReqPerSec: float64(n) / elapsed.Seconds(),
+		P50:       rec.P50(),
+		P99:       rec.P99(),
+	}, nil
+}

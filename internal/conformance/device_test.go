@@ -1,0 +1,79 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestConformanceDeviceIndependence pins the §5 transparency promise: the
+// device topology is an execution detail. The same seeded clean workloads
+// run on one pool of two workers, two single-worker pools, and four
+// single-worker pools; every topology must satisfy the full invariant set
+// against the sequential oracle, complete every request, and produce
+// bit-identical numeric results — weight pinning, remote steals, pin
+// rebalancing and cross-device migrations must never be observable in
+// outputs.
+func TestConformanceDeviceIndependence(t *testing.T) {
+	layouts := [][]int{{2}, {1, 1}, {1, 1, 1, 1}}
+	seeds := *seedsFlag
+	if seeds > 8 {
+		seeds = 8 // each seed runs 3 live topologies; cap the nightly sweep
+	}
+	m := NewModel(modelSeed)
+	for i := 0; i < seeds; i++ {
+		seed := uint64(7000 + 3*i) // clean scenario shape, no disruption
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg, opts := scenario(seed - seed%3) // variant 0: clean
+			w := Generate(seed, cfg)
+			oracle, err := Oracle(m, w)
+			if err != nil {
+				t.Fatalf("sequential oracle: %v", err)
+			}
+			type topoRun struct {
+				layout []int
+				res    *LiveResult
+			}
+			var runs []topoRun
+			for _, layout := range layouts {
+				o := opts
+				o.Devices = layout
+				res, err := RunLive(m, w, o)
+				if err != nil {
+					t.Fatalf("layout %v: live run: %v", layout, err)
+				}
+				if vs := Check(m, w, res, oracle); len(vs) > 0 {
+					t.Fatalf("layout %v: invariant violations:\n%s", layout, FormatViolations(vs))
+				}
+				if got := len(res.Stats.Devices); got != len(layout) {
+					t.Fatalf("layout %v: stats report %d device pools", layout, got)
+				}
+				for _, r := range w.Reqs {
+					if out := res.Outcome[r.Index]; out != OutcomeCompleted {
+						t.Fatalf("layout %v: clean request %d ended %v", layout, r.Index, out)
+					}
+				}
+				runs = append(runs, topoRun{layout: layout, res: res})
+			}
+			// Cross-topology equality: every layout's results must match the
+			// single-pool reference bit for bit. (Check already compared each
+			// against the oracle; this pins the stronger exactly-equal claim
+			// across topologies directly.)
+			ref := runs[0].res
+			for _, run := range runs[1:] {
+				for _, r := range w.Reqs {
+					want, got := ref.Results[r.Index], run.res.Results[r.Index]
+					if len(want) != len(got) {
+						t.Fatalf("layout %v: request %d has %d outputs, reference has %d",
+							run.layout, r.Index, len(got), len(want))
+					}
+					for name, wt := range want {
+						if !got[name].Equal(wt) {
+							t.Fatalf("layout %v: request %d output %q differs from single-pool run",
+								run.layout, r.Index, name)
+						}
+					}
+				}
+			}
+		})
+	}
+}

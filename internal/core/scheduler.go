@@ -58,6 +58,9 @@ type TypeConfig struct {
 	// MinBatch is the smallest batch worth submitting as a non-first task
 	// of a scheduling round (Bsizes.Min() in Algorithm 1). Zero means 1.
 	MinBatch int
+	// Weight estimates the type's relative load (e.g. kernel time per row)
+	// for the initial device pin assignment. Zero means 1.
+	Weight float64
 }
 
 // Config configures the scheduler.
@@ -69,6 +72,14 @@ type Config struct {
 	// a worker (default 5, §4.3): small enough that other cell types get a
 	// chance and new requests can join, large enough to keep the GPU busy.
 	MaxTasksToSubmit int
+	// Devices is the number of device pools workers are grouped into
+	// (default 1). Cell-type weights are pinned across devices at
+	// construction (LPT by Weight) and batches prefer workers on the
+	// pinned device (§5).
+	Devices int
+	// RebalanceSkew triggers a pin move when the deepest device's ready
+	// depth exceeds this multiple of the shallowest (+1). Default 2.
+	RebalanceSkew float64
 	// Chaos injects deliberate scheduler defects. Production configs leave
 	// it zero; only the conformance harness's self-test sets it.
 	Chaos Chaos
@@ -109,6 +120,19 @@ type Task struct {
 	TypeKey string
 	Worker  WorkerID
 	Nodes   []NodeRef
+	// Device is the device pool the assigned worker belongs to. HomeDevice
+	// is the type's primary weight pin; when Remote is true the worker's
+	// device does not hold the weights and the engine charges a weight
+	// fetch from HomeDevice (work-conserving steal).
+	Device     DeviceID
+	HomeDevice DeviceID
+	Remote     bool
+	// Migrations counts requests in this batch whose previous task ran on
+	// a different device; MigratedFrom lists their source devices (one
+	// entry per migrated request, only appended on multi-device
+	// schedulers — single-device runs never allocate it).
+	Migrations   int
+	MigratedFrom []DeviceID
 	// DispatchedAt (unix nanoseconds) and QueueDepth (the worker's
 	// outstanding-task count at dispatch) are observability fields stamped
 	// by the serving engine just before the task is sent to its worker.
@@ -157,6 +181,8 @@ type cellType struct {
 	readyNodes int
 	// runningTasks counts in-flight tasks of this type.
 	runningTasks int
+	// pins is the sorted set of devices holding this type's weights.
+	pins []DeviceID
 }
 
 // Scheduler implements Algorithm 1.
@@ -170,12 +196,29 @@ type Scheduler struct {
 	byReq      map[RequestID]map[SubgraphID]*subgraph
 	inflight   map[TaskID]*Task
 	totalReady int
+
+	// Device dimension (§5). lastDev tracks, per live request, the device
+	// its most recent task ran on, to detect cross-device state movement;
+	// it is nil on single-device schedulers (no tracking overhead).
+	devices          int
+	workerDev        map[WorkerID]DeviceID
+	lastDev          map[RequestID]DeviceID
+	devScratch       []float64
+	pinMoves         int
+	remoteTasks      int
+	migratedRequests int
 }
 
 // NewScheduler validates cfg and builds a scheduler.
 func NewScheduler(cfg Config) (*Scheduler, error) {
 	if cfg.MaxTasksToSubmit <= 0 {
 		cfg.MaxTasksToSubmit = 5
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 1
+	}
+	if cfg.RebalanceSkew <= 0 {
+		cfg.RebalanceSkew = 2
 	}
 	if len(cfg.Types) == 0 {
 		return nil, fmt.Errorf("core: no cell types configured")
@@ -186,6 +229,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		liveByID: make(map[SubgraphID]*subgraph),
 		byReq:    make(map[RequestID]map[SubgraphID]*subgraph),
 		inflight: make(map[TaskID]*Task),
+		devices:  cfg.Devices,
 	}
 	for _, tc := range cfg.Types {
 		if tc.Key == "" {
@@ -207,6 +251,10 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		s.typeOrder = append(s.typeOrder, tc.Key)
 	}
 	sort.Strings(s.typeOrder)
+	s.assignPins()
+	if s.devices > 1 {
+		s.lastDev = make(map[RequestID]DeviceID)
+	}
 	return s, nil
 }
 
@@ -287,6 +335,7 @@ func (s *Scheduler) CancelRequest(req RequestID) int {
 		return 0
 	}
 	delete(s.byReq, req)
+	delete(s.lastDev, req)
 	purged := 0
 	touched := make(map[string]bool)
 	for _, sg := range subs {
@@ -324,23 +373,44 @@ func (s *Scheduler) CancelRequest(req RequestID) int {
 
 // Schedule implements Algorithm 1's Schedule function: pick a cell type for
 // the (idle) worker and form up to MaxTasksToSubmit batched tasks for it.
-// It returns nil when no ready work exists or none is compatible with the
-// worker's pins.
+// Dispatch is locality-aware (§5): types whose weights are pinned on the
+// worker's device are considered first; only when the device has no local
+// ready work does the worker steal a non-resident type, paying a weight
+// fetch (Task.Remote). On a single-device scheduler every type is local, so
+// behavior is identical to the device-free algorithm. It returns nil when no
+// ready work exists or none is compatible with the worker's pins.
 func (s *Scheduler) Schedule(worker WorkerID) []*Task {
-	// (a) types with at least a full batch of ready nodes;
-	// (b) otherwise, types with ready nodes and no running tasks;
-	// (c) otherwise, types with any ready nodes.
+	dev := s.DeviceOf(worker)
+	best := s.pickType(dev, true)
+	remote := false
+	if best == nil && s.devices > 1 {
+		best = s.pickType(dev, false)
+		remote = best != nil
+	}
+	if best == nil {
+		return nil
+	}
+	return s.batch(best, worker, dev, remote)
+}
+
+// pickType selects the best cell type with ready work among those whose
+// residency on dev matches local:
+// (a) types with at least a full batch of ready nodes;
+// (b) otherwise, types with ready nodes and no running tasks;
+// (c) otherwise, types with any ready nodes;
+// highest Priority wins (first in typeOrder on ties).
+func (s *Scheduler) pickType(dev DeviceID, local bool) *cellType {
 	var candidates []*cellType
 	for _, key := range s.typeOrder {
 		ct := s.types[key]
-		if ct.readyNodes >= ct.cfg.MaxBatch {
+		if ct.residentOn(dev) == local && ct.readyNodes >= ct.cfg.MaxBatch {
 			candidates = append(candidates, ct)
 		}
 	}
 	if len(candidates) == 0 {
 		for _, key := range s.typeOrder {
 			ct := s.types[key]
-			if ct.runningTasks == 0 && ct.readyNodes > 0 {
+			if ct.residentOn(dev) == local && ct.runningTasks == 0 && ct.readyNodes > 0 {
 				candidates = append(candidates, ct)
 			}
 		}
@@ -348,7 +418,7 @@ func (s *Scheduler) Schedule(worker WorkerID) []*Task {
 	if len(candidates) == 0 {
 		for _, key := range s.typeOrder {
 			ct := s.types[key]
-			if ct.readyNodes > 0 {
+			if ct.residentOn(dev) == local && ct.readyNodes > 0 {
 				candidates = append(candidates, ct)
 			}
 		}
@@ -362,11 +432,15 @@ func (s *Scheduler) Schedule(worker WorkerID) []*Task {
 			best = ct
 		}
 	}
-	return s.batch(best, worker)
+	return best
 }
 
 // batch implements Algorithm 1's Batch function.
-func (s *Scheduler) batch(ct *cellType, worker WorkerID) []*Task {
+func (s *Scheduler) batch(ct *cellType, worker WorkerID, dev DeviceID, remote bool) []*Task {
+	home := dev
+	if len(ct.pins) > 0 {
+		home = ct.pins[0]
+	}
 	var tasks []*Task
 	for len(tasks) < s.cfg.MaxTasksToSubmit {
 		nodes, subs := s.formBatchedTask(ct, worker)
@@ -377,13 +451,31 @@ func (s *Scheduler) batch(ct *cellType, worker WorkerID) []*Task {
 			break
 		}
 		task := &Task{
-			ID:        s.nextTask,
-			TypeKey:   ct.cfg.Key,
-			Worker:    worker,
-			Nodes:     nodes,
-			subgraphs: subs,
+			ID:         s.nextTask,
+			TypeKey:    ct.cfg.Key,
+			Worker:     worker,
+			Nodes:      nodes,
+			Device:     dev,
+			HomeDevice: home,
+			Remote:     remote,
+			subgraphs:  subs,
 		}
 		s.nextTask++
+		if remote {
+			s.remoteTasks++
+		}
+		if s.lastDev != nil {
+			// Cross-device state movement: a request whose previous task
+			// ran elsewhere must copy its hidden state to dev.
+			for _, sg := range subs {
+				if last, ok := s.lastDev[sg.req]; ok && last != dev {
+					task.Migrations++
+					task.MigratedFrom = append(task.MigratedFrom, last)
+					s.migratedRequests++
+				}
+				s.lastDev[sg.req] = dev
+			}
+		}
 		// Submit: mark nodes issued, update intra-subgraph dependencies so
 		// successors become schedule-ready (safe because tasks pushed to
 		// one worker execute in FIFO order), and pin subgraphs.
@@ -508,6 +600,7 @@ func (s *Scheduler) TaskCompleted(id TaskID) error {
 					delete(m, sg.id)
 					if len(m) == 0 {
 						delete(s.byReq, sg.req)
+						delete(s.lastDev, sg.req)
 					}
 				}
 				retire = true

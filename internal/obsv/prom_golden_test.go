@@ -37,6 +37,16 @@ func goldenObserver() *Observer {
 	w0.Depth.Set(2)
 	w0.ArenaHighWater.Set(4096)
 
+	// Multi-device sharding families (§5): per-device ready depth and copy
+	// counters, plus the global pin-rebalance counter.
+	d0 := m.Device(0)
+	d0.Ready.Set(6.5)
+	d0.Copies.Add(3)
+	d1 := m.Device(1)
+	d1.Ready.Set(2)
+	d1.Copies.Add(1)
+	m.PinMoves.Add(2)
+
 	for _, occ := range []int64{1, 2, 8, 8, 8, 33, 300} {
 		m.BatchOccupancy.Observe(occ)
 	}

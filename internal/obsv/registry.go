@@ -353,12 +353,17 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.GaugeVec(name, help, nil, nil)
 }
 
-// FloatGauge returns the unlabelled float gauge for name.
-func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+// FloatGaugeVec returns the float gauge for (name, labels).
+func (r *Registry) FloatGaugeVec(name, help string, labelNames, labelValues []string) *FloatGauge {
 	if r == nil {
 		return nil
 	}
-	return r.getSeries(name, help, kindFloatGauge, nil, nil, func(s *series) { s.fg = &FloatGauge{} }).fg
+	return r.getSeries(name, help, kindFloatGauge, labelNames, labelValues, func(s *series) { s.fg = &FloatGauge{} }).fg
+}
+
+// FloatGauge returns the unlabelled float gauge for name.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.FloatGaugeVec(name, help, nil, nil)
 }
 
 // Histogram returns the unlabelled histogram for name with the given

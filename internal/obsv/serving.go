@@ -31,6 +31,9 @@ const (
 	MetricTraceDropped        = "batchmaker_trace_events_dropped_total"
 	MetricSpanWritten         = "batchmaker_span_records_written"
 	MetricSpanDropped         = "batchmaker_span_records_dropped"
+	MetricDeviceReadyDepth    = "batchmaker_device_ready_depth"
+	MetricDeviceCopies        = "batchmaker_device_copies_total"
+	MetricDevicePinMoves      = "batchmaker_device_pin_moves_total"
 )
 
 // Request outcome label values for MetricRequestsTotal.
@@ -70,6 +73,16 @@ type WorkerMetrics struct {
 	ArenaHighWater *Gauge
 }
 
+// DeviceMetrics groups the per-device handles (§5 multi-device sharding).
+type DeviceMetrics struct {
+	// Ready is the device's attributed ready depth: each resident cell
+	// type's ready nodes divided by its replica count.
+	Ready *FloatGauge
+	// Copies counts dispatched tasks that paid a cross-device copy (weight
+	// fetch on a remote steal, or a migrated request's state movement).
+	Copies *Counter
+}
+
 // ServingMetrics registers the serving stack's metric families in a
 // Registry and hands out typed cells. All handles are safe on the zero/nil
 // receiver path (a nil *ServingMetrics yields nil cells, which are no-ops),
@@ -97,10 +110,13 @@ type ServingMetrics struct {
 	Queuing, Computation *Quantiles
 	// TraceDropped mirrors the server trace ring's drop-oldest counter.
 	TraceDropped *Gauge
+	// PinMoves counts scheduler pin rebalances across devices.
+	PinMoves *Counter
 
 	mu      sync.Mutex
 	types   map[string]*TypeMetrics
 	workers map[int]*WorkerMetrics
+	devices map[int]*DeviceMetrics
 }
 
 // NewServingMetrics registers the serving families in reg (which may be
@@ -110,6 +126,7 @@ func NewServingMetrics(reg *Registry) *ServingMetrics {
 		reg:     reg,
 		types:   make(map[string]*TypeMetrics),
 		workers: make(map[int]*WorkerMetrics),
+		devices: make(map[int]*DeviceMetrics),
 	}
 	outcome := func(v string) *Counter {
 		return reg.CounterVec(MetricRequestsTotal,
@@ -140,6 +157,8 @@ func NewServingMetrics(reg *Registry) *ServingMetrics {
 		quantileWindow, latencyQuantiles)
 	m.TraceDropped = reg.Gauge(MetricTraceDropped,
 		"Trace events overwritten by the bounded trace ring.")
+	m.PinMoves = reg.Counter(MetricDevicePinMoves,
+		"Cell-type weight pins moved or replicated by the rebalancer.")
 	reg.AddCollector(m.refreshPadding)
 	return m
 }
@@ -204,6 +223,29 @@ func (m *ServingMetrics) Worker(id int) *WorkerMetrics {
 	}
 	m.workers[id] = w
 	return w
+}
+
+// Device returns (registering on first use) the per-device handles.
+func (m *ServingMetrics) Device(id int) *DeviceMetrics {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d := m.devices[id]; d != nil {
+		return d
+	}
+	label := []string{strconv.Itoa(id)}
+	d := &DeviceMetrics{
+		Ready: m.reg.FloatGaugeVec(MetricDeviceReadyDepth,
+			"Ready-node depth attributed to the device (resident types / replicas).",
+			[]string{"device"}, label),
+		Copies: m.reg.CounterVec(MetricDeviceCopies,
+			"Dispatched tasks that paid a cross-device copy.",
+			[]string{"device"}, label),
+	}
+	m.devices[id] = d
+	return d
 }
 
 // TypeStat is one cell type's executed-work totals, for summaries.

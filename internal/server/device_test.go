@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"batchmaker/internal/cellgraph"
+)
+
+// TestServerDevicePoolsMatchSequential runs the end-to-end transparency
+// invariant on a two-pool topology: locality-aware routing, remote steals,
+// and cross-device migrations must never change results.
+func TestServerDevicePoolsMatchSequential(t *testing.T) {
+	m := newTestModel()
+	cfg := m.serverConfig(0)
+	cfg.Devices = []DeviceConfig{{Workers: 1}, {Workers: 1}}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	const reqN = 10
+	handles := make([]*Handle, reqN)
+	for i := 0; i < reqN; i++ {
+		g, err := cellgraph.UnfoldChain(m.lstm, chainInput(uint64(i+1), 2+i%5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := srv.SubmitAsync(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		<-h.Done()
+		got, err := h.Result()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		gRef, _ := cellgraph.UnfoldChain(m.lstm, chainInput(uint64(i+1), 2+i%5))
+		want, err := cellgraph.ExecuteSequential(gRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got["h"].Equal(want["h"]) {
+			t.Fatalf("request %d differs from sequential execution", i)
+		}
+	}
+
+	st := srv.Stats()
+	if len(st.Devices) != 2 {
+		t.Fatalf("DeviceStats entries = %d, want 2", len(st.Devices))
+	}
+	devTasks, devCells := 0, 0
+	for _, d := range st.Devices {
+		if d.Workers != 1 {
+			t.Fatalf("pool size = %d, want 1", d.Workers)
+		}
+		devTasks += d.TasksRun
+		devCells += d.CellsRun
+	}
+	if devTasks != st.TasksRun || devCells != st.CellsRun {
+		t.Fatalf("device totals (%d tasks, %d cells) != server totals (%d, %d)",
+			devTasks, devCells, st.TasksRun, st.CellsRun)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("worker entries = %d, want 2", len(st.Workers))
+	}
+	for w, ws := range st.Workers {
+		if ws.Device != w || ws.Lane != 0 {
+			t.Fatalf("worker %d labeled device=%d lane=%d, want device=%d lane=0", w, ws.Device, ws.Lane, w)
+		}
+	}
+}
+
+// TestServerDeviceStatsSingleDeviceShorthand: a Workers-only config is one
+// device pool holding all workers.
+func TestServerDeviceStatsSingleDeviceShorthand(t *testing.T) {
+	m := newTestModel()
+	srv, err := New(m.serverConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	g, err := cellgraph.UnfoldChain(m.lstm, chainInput(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if len(st.Devices) != 1 || st.Devices[0].Workers != 2 {
+		t.Fatalf("shorthand topology wrong: %+v", st.Devices)
+	}
+	if st.Devices[0].TasksRun != st.TasksRun {
+		t.Fatalf("device tasks %d != total %d", st.Devices[0].TasksRun, st.TasksRun)
+	}
+	if st.Devices[0].Copies != 0 || st.PinMoves != 0 {
+		t.Fatalf("single device paid copies=%d pinMoves=%d, want 0", st.Devices[0].Copies, st.PinMoves)
+	}
+}
+
+// TestServerDeviceConfigValidation rejects empty pools.
+func TestServerDeviceConfigValidation(t *testing.T) {
+	m := newTestModel()
+	cfg := m.serverConfig(0)
+	cfg.Devices = []DeviceConfig{{Workers: 1}, {Workers: 0}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted a zero-worker device pool")
+	}
+}

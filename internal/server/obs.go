@@ -48,6 +48,7 @@ type serverObs struct {
 	schedRing   *obsv.Ring
 	workerRings []*obsv.Ring
 	workers     []*obsv.WorkerMetrics
+	devices     []*obsv.DeviceMetrics
 
 	// types is read-only after construction; worker goroutines look their
 	// type up per task.
@@ -55,9 +56,9 @@ type serverObs struct {
 }
 
 // newServerObs builds the observability bridge for a server with the given
-// cell specs and worker count. Returns nil when cfg.Disabled — the nil
-// *serverObs is the "off" implementation.
-func newServerObs(cfg ObsConfig, specs []CellSpec, workers int) *serverObs {
+// cell specs, worker count, and device-pool count. Returns nil when
+// cfg.Disabled — the nil *serverObs is the "off" implementation.
+func newServerObs(cfg ObsConfig, specs []CellSpec, workers, devices int) *serverObs {
 	if cfg.Disabled {
 		return nil
 	}
@@ -86,6 +87,10 @@ func newServerObs(cfg ObsConfig, specs []CellSpec, workers int) *serverObs {
 	ob.workers = make([]*obsv.WorkerMetrics, workers)
 	for w := range ob.workers {
 		ob.workers[w] = o.Metrics.Worker(w)
+	}
+	ob.devices = make([]*obsv.DeviceMetrics, devices)
+	for d := range ob.devices {
+		ob.devices[d] = o.Metrics.Device(d)
 	}
 	for _, cs := range specs {
 		key := cs.Cell.TypeKey()
@@ -215,6 +220,25 @@ func (ob *serverObs) mirrorScheduler(sched *core.Scheduler, outstanding []int) {
 	for w, d := range outstanding {
 		ob.workers[w].Depth.Set(int64(d))
 	}
+	for d, dm := range ob.devices {
+		dm.Ready.Set(sched.DeviceReady(core.DeviceID(d)))
+	}
+}
+
+// pinMoves records pin rebalances made by the scheduler loop.
+func (ob *serverObs) pinMoves(n int) {
+	if ob == nil {
+		return
+	}
+	ob.sm.PinMoves.Add(int64(n))
+}
+
+// deviceCopies records dispatched tasks that paid a cross-device copy.
+func (ob *serverObs) deviceCopies(dev, n int) {
+	if ob == nil {
+		return
+	}
+	ob.devices[dev].Copies.Add(int64(n))
 }
 
 // ---- workers (worker i is the single writer of workerRings[i]) ----

@@ -45,7 +45,7 @@ type slCmd struct {
 // stats so Stats/SchedulerClean need no access to the loop's state.
 func (s *Server) schedulerLoop(sched *core.Scheduler, mts, depth int) {
 	defer s.wg.Done()
-	outstanding := make([]int, s.cfg.Workers)
+	outstanding := make([]int, len(s.taskChans))
 	var admitFault func(core.SubgraphSpec) error
 	stopping := false
 	rr := 0
@@ -53,6 +53,12 @@ func (s *Server) schedulerLoop(sched *core.Scheduler, mts, depth int) {
 	dispatch := func() {
 		if stopping {
 			return
+		}
+		// Periodic rebalancing (§5): re-pin a cell type toward a shallow
+		// device when ready-depth skew crosses the threshold. A no-op on
+		// single-device servers.
+		if moved := sched.MaybeRebalance(); moved > 0 {
+			s.obs.pinMoves(moved)
 		}
 		for {
 			progress := false
@@ -68,8 +74,14 @@ func (s *Server) schedulerLoop(sched *core.Scheduler, mts, depth int) {
 				if len(tasks) == 0 {
 					continue
 				}
+				copies := 0
 				for _, t := range tasks {
 					s.obs.dispatch(t, outstanding[w], start.UnixNano())
+					if t.Remote || t.Migrations > 0 {
+						// Weight fetch (remote steal) or migrated request
+						// state: either way the pool paid a device copy.
+						copies++
+					}
 					s.taskChans[w] <- t
 					outstanding[w]++
 				}
@@ -77,7 +89,13 @@ func (s *Server) schedulerLoop(sched *core.Scheduler, mts, depth int) {
 				s.statsMu.Lock()
 				s.dispatchRounds++
 				s.dispatchLat.Add(time.Since(start))
+				if copies > 0 {
+					s.deviceCopies[s.workerDevice[w]] += copies
+				}
 				s.statsMu.Unlock()
+				if copies > 0 {
+					s.obs.deviceCopies(int(s.workerDevice[w]), copies)
+				}
 			}
 			rr = (rr + 1) % len(s.taskChans)
 			if !progress {
@@ -91,6 +109,7 @@ func (s *Server) schedulerLoop(sched *core.Scheduler, mts, depth int) {
 		s.schedInflight = sched.InflightTasks()
 		s.schedLive = sched.LiveSubgraphs()
 		s.schedReady = sched.TotalReady()
+		s.pinMoves = sched.PinMoves()
 		copy(s.workerDepth, outstanding)
 		s.statsMu.Unlock()
 		s.obs.mirrorScheduler(sched, outstanding)

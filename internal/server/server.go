@@ -106,12 +106,30 @@ type CellSpec struct {
 	MinBatch int
 	// Priority orders types; give later-phase cells higher values.
 	Priority int
+	// Weight estimates the type's relative load for the scheduler's initial
+	// device pin assignment (0 means 1). Irrelevant on one device.
+	Weight float64
+}
+
+// DeviceConfig sizes one device pool: a group of workers sharing a device
+// whose cell-type weights the scheduler pins and dispatches to with locality
+// preference (§5).
+type DeviceConfig struct {
+	// Workers is the pool's worker count (must be positive).
+	Workers int
 }
 
 // Config configures a Server.
 type Config struct {
 	Cells   []CellSpec
 	Workers int
+	// Devices, when non-empty, replaces the flat worker pool with one pool
+	// per device: cell-type weights are pinned across devices, the
+	// scheduler loop routes batches to the pinned pool (stealing across
+	// pools only when a device has no local ready work), and per-device
+	// stats/metrics are published. Empty means one device with Workers
+	// workers — the single-device shorthand every pre-existing config uses.
+	Devices []DeviceConfig
 	// MaxTasksToSubmit bounds tasks handed to a worker per scheduling
 	// round (default 5).
 	MaxTasksToSubmit int
@@ -252,6 +270,12 @@ type Server struct {
 	// baseAllocs is the process-wide heap-allocation count when the server
 	// started; Stats divides the delta by tasks run. Immutable after New.
 	baseAllocs uint64
+	// pools is the resolved device topology (one entry when Config.Devices
+	// is empty); workerDevice maps a flat worker index to its device pool,
+	// workerLane to its index within the pool. All immutable after New.
+	pools        []DeviceConfig
+	workerDevice []core.DeviceID
+	workerLane   []int
 
 	// Stage hand-offs.
 	cmds        chan any        // callers -> request processor (unbuffered)
@@ -300,12 +324,27 @@ type Server struct {
 	schedInflight  int // mirrored core.Scheduler gauges
 	schedLive      int
 	schedReady     int
+	deviceTasks    []int // per-device execution counters
+	deviceCells    []int
+	deviceCopies   []int // dispatches that paid a cross-device copy
+	pinMoves       int   // mirrored scheduler pin-rebalance count
 }
 
 // New builds and starts a server. Call Stop (or Drain) to shut it down.
 func New(cfg Config) (*Server, error) {
-	if cfg.Workers <= 0 {
-		return nil, fmt.Errorf("server: Workers must be positive")
+	pools := cfg.Devices
+	if len(pools) == 0 {
+		if cfg.Workers <= 0 {
+			return nil, fmt.Errorf("server: Workers must be positive")
+		}
+		pools = []DeviceConfig{{Workers: cfg.Workers}}
+	}
+	totalWorkers := 0
+	for d, p := range pools {
+		if p.Workers <= 0 {
+			return nil, fmt.Errorf("server: device %d must have positive Workers", d)
+		}
+		totalWorkers += p.Workers
 	}
 	if len(cfg.Cells) == 0 {
 		return nil, fmt.Errorf("server: no cells registered")
@@ -330,9 +369,15 @@ func New(cfg Config) (*Server, error) {
 			MaxBatch: cs.MaxBatch,
 			MinBatch: cs.MinBatch,
 			Priority: cs.Priority,
+			Weight:   cs.Weight,
 		})
 	}
-	sched, err := core.NewScheduler(core.Config{Types: types, MaxTasksToSubmit: cfg.MaxTasksToSubmit, Chaos: cfg.SchedulerChaos})
+	sched, err := core.NewScheduler(core.Config{
+		Types:            types,
+		MaxTasksToSubmit: cfg.MaxTasksToSubmit,
+		Devices:          len(pools),
+		Chaos:            cfg.SchedulerChaos,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -364,21 +409,38 @@ func New(cfg Config) (*Server, error) {
 		baseAllocs:    heapAllocObjects(),
 		maxRetries:    maxRetries,
 		retryBackoff:  backoff,
+		pools:         pools,
+		workerDevice:  make([]core.DeviceID, totalWorkers),
+		workerLane:    make([]int, totalWorkers),
 		cmds:          make(chan any),
-		completions:   make(chan completion, cfg.Workers*depth+cfg.Workers),
+		completions:   make(chan completion, totalWorkers*depth+totalWorkers),
 		slCmds:        make(chan slCmd, 64),
-		taskChans:     make([]chan *core.Task, cfg.Workers),
+		taskChans:     make([]chan *core.Task, totalWorkers),
 		stopdCh:       make(chan struct{}),
 		drained:       make(chan struct{}),
 		live:          make(map[core.RequestID]*request),
 		batchesBy:     make(map[int]int),
 		quarantined:   make(map[string]int),
 		trace:         newTraceRing(cfg.TraceCapacity),
-		workerTasks:   make([]int, cfg.Workers),
-		workerBatches: make([]map[int]int, cfg.Workers),
-		workerDepth:   make([]int, cfg.Workers),
+		workerTasks:   make([]int, totalWorkers),
+		workerBatches: make([]map[int]int, totalWorkers),
+		workerDepth:   make([]int, totalWorkers),
+		deviceTasks:   make([]int, len(pools)),
+		deviceCells:   make([]int, len(pools)),
+		deviceCopies:  make([]int, len(pools)),
 		dispatchLat:   metrics.NewWindow(4096),
-		obs:           newServerObs(cfg.Obs, cfg.Cells, cfg.Workers),
+		obs:           newServerObs(cfg.Obs, cfg.Cells, totalWorkers, len(pools)),
+	}
+	w := 0
+	for d, p := range pools {
+		for lane := 0; lane < p.Workers; lane++ {
+			s.workerDevice[w] = core.DeviceID(d)
+			s.workerLane[w] = lane
+			if err := sched.BindWorker(core.WorkerID(w), core.DeviceID(d)); err != nil {
+				return nil, err
+			}
+			w++
+		}
 	}
 	if cfg.FirstRequestID > 0 {
 		s.nextID.Store(int64(cfg.FirstRequestID))
@@ -393,10 +455,10 @@ func New(cfg Config) (*Server, error) {
 		s.taskChans[w] = make(chan *core.Task, depth)
 		s.workerBatches[w] = make(map[int]int)
 	}
-	s.wg.Add(2 + cfg.Workers)
+	s.wg.Add(2 + totalWorkers)
 	go s.requestProcessor()
 	go s.schedulerLoop(sched, mts, depth)
-	for w := 0; w < cfg.Workers; w++ {
+	for w := 0; w < totalWorkers; w++ {
 		go s.workerLoop(w, s.taskChans[w])
 	}
 	return s, nil
@@ -659,6 +721,10 @@ func (s *Server) setAdmitFault(f func(core.SubgraphSpec) error) {
 
 // WorkerStats describes one worker's slice of the pipeline.
 type WorkerStats struct {
+	// Device is the worker's device pool; Lane is its index within the
+	// pool (Device 0 / Lane == flat index on single-device servers).
+	Device int
+	Lane   int
 	// TasksRun counts batched tasks this worker executed.
 	TasksRun int
 	// QueueDepth is the worker's current task-channel backlog (dispatched,
@@ -666,6 +732,18 @@ type WorkerStats struct {
 	QueueDepth int
 	// BatchSizes is this worker's batch-size histogram.
 	BatchSizes map[int]int
+}
+
+// DeviceStats aggregates one device pool.
+type DeviceStats struct {
+	// Workers is the pool size.
+	Workers int
+	// TasksRun and CellsRun count execution on this pool's workers.
+	TasksRun int
+	CellsRun int
+	// Copies counts dispatched tasks that paid a cross-device copy: a
+	// weight fetch (remote steal) or a migrated request's state movement.
+	Copies int
 }
 
 // Stats reports execution counters.
@@ -685,6 +763,11 @@ type Stats struct {
 	Quarantined map[string]int
 	// Workers breaks execution down per pipeline worker.
 	Workers []WorkerStats
+	// Devices breaks execution down per device pool (one entry on
+	// single-device servers).
+	Devices []DeviceStats
+	// PinMoves counts scheduler pin rebalances across devices.
+	PinMoves int
 	// DispatchRounds counts scheduler-loop rounds that produced tasks.
 	DispatchRounds int
 	// DispatchP50 and DispatchP99 are recent scheduler-loop dispatch
@@ -721,9 +804,20 @@ func (s *Server) Stats() Stats {
 			wb[k] = v
 		}
 		ws[w] = WorkerStats{
+			Device:     int(s.workerDevice[w]),
+			Lane:       s.workerLane[w],
 			TasksRun:   s.workerTasks[w],
 			QueueDepth: s.workerDepth[w],
 			BatchSizes: wb,
+		}
+	}
+	ds := make([]DeviceStats, len(s.pools))
+	for d := range ds {
+		ds[d] = DeviceStats{
+			Workers:  s.pools[d].Workers,
+			TasksRun: s.deviceTasks[d],
+			CellsRun: s.deviceCells[d],
+			Copies:   s.deviceCopies[d],
 		}
 	}
 	st := Stats{
@@ -735,6 +829,8 @@ func (s *Server) Stats() Stats {
 		Outcomes:       s.outcomes,
 		Quarantined:    q,
 		Workers:        ws,
+		Devices:        ds,
+		PinMoves:       s.pinMoves,
 		DispatchRounds: s.dispatchRounds,
 		DispatchP50:    s.dispatchLat.P50(),
 		DispatchP99:    s.dispatchLat.P99(),

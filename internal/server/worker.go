@@ -200,6 +200,8 @@ func (s *Server) execTask(id int, task *core.Task, ws *workerExec) completion {
 	s.batchesBy[len(refs)]++
 	s.workerTasks[id]++
 	s.workerBatches[id][len(refs)]++
+	s.deviceTasks[s.workerDevice[id]]++
+	s.deviceCells[s.workerDevice[id]] += len(refs)
 	s.trace.add(Event{
 		At: time.Now(), Kind: EventTaskExec,
 		Worker: task.Worker, TypeKey: task.TypeKey, Batch: len(refs),

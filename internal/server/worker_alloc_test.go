@@ -28,12 +28,18 @@ func workerAllocFixture(tb testing.TB, reqN, chainN int) (*Server, []*core.Task,
 		live:          make(map[core.RequestID]*request),
 		batchesBy:     make(map[int]int),
 		quarantined:   make(map[string]int),
+		pools:         []DeviceConfig{{Workers: 1}},
+		workerDevice:  make([]core.DeviceID, 1),
+		workerLane:    make([]int, 1),
 		workerTasks:   make([]int, 1),
 		workerBatches: []map[int]int{make(map[int]int)},
+		deviceTasks:   make([]int, 1),
+		deviceCells:   make([]int, 1),
+		deviceCopies:  make([]int, 1),
 		// Event tracing ON at default sampling: the zero-alloc gate must
 		// hold with the full observability layer live, exactly as New()
 		// builds it.
-		obs: newServerObs(ObsConfig{}, []CellSpec{{Cell: lstm, MaxBatch: reqN}}, 1),
+		obs: newServerObs(ObsConfig{}, []CellSpec{{Cell: lstm, MaxBatch: reqN}}, 1, 1),
 	}
 	tasks := make([]*core.Task, chainN)
 	for i := range tasks {

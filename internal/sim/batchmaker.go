@@ -22,24 +22,39 @@ type BatchMakerConfig struct {
 	// when a request's execution migrates between GPUs. At hidden 1024 and
 	// float32, h+c is 8 KiB.
 	StateBytes int
+	// WeightBytes is one cell type's parameter size, fetched over the
+	// interconnect when a worker steals a task whose weights are pinned on
+	// another device (§5). The default matches an LSTM at hidden 1024.
+	WeightBytes int
+	// Cluster supplies the device streams and the per-pair copy-cost
+	// matrix. Nil builds a uniform NewCluster(NumGPUs); when set, its size
+	// must equal NumGPUs.
+	Cluster *device.Cluster
+	// RebalanceSkew forwards to core.Config: a device's ready depth must
+	// exceed skew × the lightest device's before a weight pin moves.
+	RebalanceSkew float64
 	// Metrics, when set, receives the same metric families the live server
 	// publishes (outcome counters, batch occupancy, slot accounting, the
-	// queuing/computation latency split, ready-queue depth per cell type),
-	// so a virtual-time run can be scraped or summarized exactly like a
-	// real one. Nil disables the hook.
+	// queuing/computation latency split, ready-queue depth per cell type,
+	// per-device ready depth and copy counters), so a virtual-time run can
+	// be scraped or summarized exactly like a real one. Nil disables the
+	// hook.
 	Metrics *obsv.ServingMetrics
 }
 
 // DefaultStateBytes is h+c at hidden 1024, float32.
 const DefaultStateBytes = 8192
 
+// DefaultWeightBytes is the four gate matrices of an LSTM at hidden 1024,
+// float32: 4·(1024+1024)·1024·4 bytes.
+const DefaultWeightBytes = 32 << 20
+
 type bmRequest struct {
-	id         core.RequestID
-	tracker    *core.Tracker
-	arrival    time.Duration
-	firstExec  time.Duration
-	hasExec    bool
-	lastWorker core.WorkerID
+	id        core.RequestID
+	tracker   *core.Tracker
+	arrival   time.Duration
+	firstExec time.Duration
+	hasExec   bool
 }
 
 // batchMakerSim is one run of the BatchMaker simulation.
@@ -59,6 +74,8 @@ type batchMakerSim struct {
 	// obsTypes caches per-cell-type metric handles plus the type's batch
 	// capacity (for slot accounting); nil when cfg.Metrics is nil.
 	obsTypes map[string]*bmObsType
+	// obsDevs caches per-device metric handles; nil when cfg.Metrics is nil.
+	obsDevs []*obsv.DeviceMetrics
 }
 
 // bmObsType is one cell type's cached metric handles for the sim hook.
@@ -79,9 +96,27 @@ func RunBatchMaker(cfg BatchMakerConfig, wl Workload, run RunConfig) (*metrics.R
 	if cfg.StateBytes == 0 {
 		cfg.StateBytes = DefaultStateBytes
 	}
+	if cfg.WeightBytes == 0 {
+		cfg.WeightBytes = DefaultWeightBytes
+	}
+	if cfg.Cluster == nil {
+		cfg.Cluster = device.NewCluster(cfg.NumGPUs)
+	} else if cfg.Cluster.N() != cfg.NumGPUs {
+		return nil, fmt.Errorf("sim: cluster has %d devices, config says %d", cfg.Cluster.N(), cfg.NumGPUs)
+	}
+	// Weight the scheduler's pin assignment by each type's single-cell
+	// kernel time so heavy types spread across devices first.
+	types := cfg.Model.Types()
+	for i := range types {
+		if types[i].Weight == 0 {
+			types[i].Weight = float64(cfg.Model.KernelTime(types[i].Key, 1))
+		}
+	}
 	sched, err := core.NewScheduler(core.Config{
-		Types:            cfg.Model.Types(),
+		Types:            types,
 		MaxTasksToSubmit: cfg.MaxTasksToSubmit,
+		Devices:          cfg.NumGPUs,
+		RebalanceSkew:    cfg.RebalanceSkew,
 	})
 	if err != nil {
 		return nil, err
@@ -98,12 +133,19 @@ func RunBatchMaker(cfg BatchMakerConfig, wl Workload, run RunConfig) (*metrics.R
 		col:      newCollector(fmt.Sprintf("BatchMaker-%s", cfg.Model.Name), run),
 	}
 	for i := range s.gpus {
-		s.gpus[i] = &device.GPU{ID: i}
+		s.gpus[i] = cfg.Cluster.Device(i)
+		if err := sched.BindWorker(core.WorkerID(i), core.DeviceID(i)); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Metrics != nil {
 		s.obsTypes = make(map[string]*bmObsType)
 		for _, tc := range cfg.Model.Types() {
 			s.obsTypes[tc.Key] = &bmObsType{tm: cfg.Metrics.Type(tc.Key), maxBatch: int64(tc.MaxBatch)}
+		}
+		s.obsDevs = make([]*obsv.DeviceMetrics, cfg.NumGPUs)
+		for d := range s.obsDevs {
+			s.obsDevs[d] = cfg.Metrics.Device(d)
 		}
 	}
 	arrivals := dataset.NewPoisson(run.Seed, run.RatePerSec)
@@ -142,7 +184,7 @@ func (s *batchMakerSim) admit() {
 	if err != nil {
 		panic(fmt.Sprintf("sim: tracker: %v", err))
 	}
-	req := &bmRequest{id: id, tracker: tr, arrival: s.eng.Now(), lastWorker: core.NoWorker}
+	req := &bmRequest{id: id, tracker: tr, arrival: s.eng.Now()}
 	s.reqs[id] = req
 	s.admitted++
 	if m := s.cfg.Metrics; m != nil {
@@ -157,8 +199,15 @@ func (s *batchMakerSim) admit() {
 	s.kickIdleWorkers()
 }
 
-// kickIdleWorkers offers work to every drained worker.
+// kickIdleWorkers offers work to every drained worker, after giving the
+// scheduler a chance to move a weight pin if ready depth has skewed (§5).
 func (s *batchMakerSim) kickIdleWorkers() {
+	if moved := s.sched.MaybeRebalance(); moved > 0 {
+		s.col.res.AddExtra("pin_moves", float64(moved))
+		if m := s.cfg.Metrics; m != nil {
+			m.PinMoves.Add(int64(moved))
+		}
+	}
 	for w := range s.gpus {
 		if s.inflight[w] == 0 {
 			s.scheduleWorker(core.WorkerID(w))
@@ -174,20 +223,9 @@ func (s *batchMakerSim) scheduleWorker(w core.WorkerID) {
 		return
 	}
 	gpu := s.gpus[w]
+	dev := int(s.sched.DeviceOf(w))
 	for _, task := range tasks {
 		dur := s.cfg.Overheads.PerTask(task.BatchSize()) + s.cfg.Model.KernelTime(task.TypeKey, task.BatchSize())
-		// Cross-GPU migration: if any request in the task last executed on
-		// a different GPU, its state must be copied over. Copies to one
-		// destination overlap, so charge a single copy latency.
-		migrated := false
-		for _, ref := range task.Nodes {
-			req := s.reqs[ref.Req]
-			if req.lastWorker != core.NoWorker && req.lastWorker != w {
-				migrated = true
-				s.col.res.AddExtra("migrated_requests", 1)
-			}
-			req.lastWorker = w
-		}
 		s.col.res.AddExtra("tasks", 1)
 		s.col.res.AddExtra("batched_cells", float64(task.BatchSize()))
 		if ot := s.obsTypes[task.TypeKey]; ot != nil {
@@ -199,9 +237,32 @@ func (s *batchMakerSim) scheduleWorker(w core.WorkerID) {
 			m.SlotsUsed.Add(batch)
 			m.SlotsCap.Add(ot.maxBatch)
 		}
-		if migrated {
-			dur += s.cfg.Overheads.CopyTime(s.cfg.StateBytes)
+		// Cross-device movement (§5): the scheduler marks requests whose
+		// previous task ran on another device; their h/c state is copied
+		// in. Copies to one destination overlap, so charge the slowest
+		// source link once.
+		if task.Migrations > 0 {
+			var stateCopy time.Duration
+			for _, src := range task.MigratedFrom {
+				if d := s.cfg.Cluster.CopyTime(int(src), dev, s.cfg.StateBytes); d > stateCopy {
+					stateCopy = d
+				}
+			}
+			dur += stateCopy
+			s.col.res.AddExtra("migrated_requests", float64(task.Migrations))
 			s.col.res.AddExtra("migration_tasks", 1)
+		}
+		// Remote steal: the type's weights live on HomeDevice and must be
+		// fetched before the kernel can run here.
+		if task.Remote {
+			dur += s.cfg.Cluster.CopyTime(int(task.HomeDevice), dev, s.cfg.WeightBytes)
+			s.col.res.AddExtra("remote_tasks", 1)
+		}
+		if (task.Migrations > 0 || task.Remote) && s.obsDevs != nil {
+			s.obsDevs[dev].Copies.Add(int64(task.Migrations))
+			if task.Remote {
+				s.obsDevs[dev].Copies.Inc()
+			}
 		}
 		start, end := gpu.Submit(s.eng.Now(), dur)
 		for _, ref := range task.Nodes {
@@ -223,6 +284,9 @@ func (s *batchMakerSim) scheduleWorker(w core.WorkerID) {
 func (s *batchMakerSim) mirrorReady() {
 	for key, ot := range s.obsTypes {
 		ot.tm.Ready.Set(int64(s.sched.ReadyNodes(key)))
+	}
+	for d, dm := range s.obsDevs {
+		dm.Ready.Set(s.sched.DeviceReady(core.DeviceID(d)))
 	}
 }
 

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"fmt"
+
+	"batchmaker/internal/metrics"
+)
+
+// ScalingPoint is one measured device count on the multi-GPU scaling curve.
+type ScalingPoint struct {
+	NumGPUs    int
+	Throughput float64 // completions/sec inside the measured window
+	Result     *metrics.RunResult
+}
+
+// RunScalingCurve reproduces the paper's multi-GPU scaling experiment in
+// virtual time: the same saturating open-loop workload offered to clusters
+// of increasing size, so each point reports that cluster's saturation
+// throughput rather than the offered rate. newWorkload must return a fresh,
+// identically-seeded workload per point so every cluster size sees the same
+// request sequence.
+func RunScalingCurve(base BatchMakerConfig, newWorkload func() Workload, run RunConfig, gpuCounts []int) ([]ScalingPoint, error) {
+	points := make([]ScalingPoint, 0, len(gpuCounts))
+	for _, n := range gpuCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("sim: scaling point with %d GPUs", n)
+		}
+		cfg := base
+		cfg.NumGPUs = n
+		cfg.Cluster = nil // rebuilt per point to match the device count
+		res, err := RunBatchMaker(cfg, newWorkload(), run)
+		if err != nil {
+			return nil, fmt.Errorf("sim: scaling point %d GPUs: %w", n, err)
+		}
+		points = append(points, ScalingPoint{NumGPUs: n, Throughput: res.Throughput(), Result: res})
+	}
+	return points, nil
+}
