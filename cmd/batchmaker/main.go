@@ -50,6 +50,7 @@ import (
 	"batchmaker/internal/core"
 	"batchmaker/internal/journal"
 	"batchmaker/internal/obsv"
+	"batchmaker/internal/policy"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/server"
 	"batchmaker/internal/tensor"
@@ -106,6 +107,10 @@ type appConfig struct {
 	Pools []int
 	// Deadline, when positive, is the per-request SLA.
 	Deadline time.Duration
+	// SLA, when positive, enables the adaptive policy layer with this
+	// end-to-end latency target; PolicyMode selects which controllers run.
+	SLA        time.Duration
+	PolicyMode policy.Mode
 	// JournalDir, when set, enables the durable request journal: admitted
 	// requests are journaled before the submission is acknowledged, and
 	// journaled requests without a terminal record are replayed on boot.
@@ -157,6 +162,9 @@ func newApp(cfg appConfig) (*app, error) {
 			{Cell: a.dec, MaxBatch: 32, Priority: 1},
 		},
 		MaxQueuedRequests: cfg.MaxQueue,
+	}
+	if cfg.SLA > 0 {
+		scfg.Policy = policy.Config{Mode: cfg.PolicyMode, SLA: cfg.SLA}
 	}
 	for _, n := range cfg.Pools {
 		scfg.Devices = append(scfg.Devices, server.DeviceConfig{Workers: n})
@@ -385,6 +393,8 @@ func main() {
 		pools    = flag.String("pools", "", "comma-separated workers per device pool, e.g. \"2,2\" for two 2-worker devices; overrides -workers (empty = one pool of -workers)")
 		maxQueue = flag.Int("max-queue", 0, "max concurrently admitted requests; excess is shed with code \"overloaded\" (0 = unlimited)")
 		deadline = flag.Duration("deadline", 0, "per-request SLA; expired requests stop batching and answer code \"expired\" (0 = none)")
+		sla      = flag.Duration("sla", 0, "end-to-end latency target enabling the adaptive policy layer: Little's-law admission shedding (code \"overloaded\" + retry-after) and AIMD batch sizing, per -policy (0 = off)")
+		polMode  = flag.String("policy", "full", "adaptive policy controllers when -sla is set: off, admission (shed only), adaptive (batch sizing only), full (both)")
 		demo     = flag.Bool("demo", false, "drive the server with a built-in client and exit")
 		jdir     = flag.String("journal-dir", "", "durable request journal directory; admits are journaled before acknowledgement and unfinished requests replay on boot (empty = off)")
 		jsync    = flag.String("journal-sync", "batch", "journal fsync policy: none (process-crash safe), batch (group-commit fsync; default), always (fsync per record)")
@@ -413,9 +423,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	mode, err := policy.ParseMode(*polMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	a, err := newApp(appConfig{
 		Vocab: *vocab, Embed: *embed, Hidden: *hidden,
 		Workers: *workers, Pools: poolSizes, MaxQueue: *maxQueue, Deadline: *deadline,
+		SLA: *sla, PolicyMode: mode,
 		JournalDir: *jdir, JournalSync: *jsync,
 	})
 	if err != nil {

@@ -79,6 +79,24 @@ func (s *GuardScaling) point(pools int) *GuardScalingPoint {
 	return nil
 }
 
+// GuardPolicy is the recorded policy-on vs policy-off comparison of the
+// bursty open-loop workload (same arrival schedule, the adaptive admission +
+// batching control layer as the only difference).
+type GuardPolicy struct {
+	SLANs        float64 `json:"sla_ns"`
+	StaticP99Ns  float64 `json:"static_p99_ns"`
+	PolicyP99Ns  float64 `json:"policy_p99_ns"`
+	StaticMisses int     `json:"static_deadline_misses"`
+	PolicyMisses int     `json:"policy_deadline_misses"`
+	PolicyShed   int     `json:"policy_shed"`
+	TailRatio    float64 `json:"tail_ratio"`
+}
+
+// Ratio returns policy-on over policy-off P99 latency.
+func (p *GuardPolicy) Ratio() float64 {
+	return p.PolicyP99Ns / p.StaticP99Ns
+}
+
 // GuardReport is the slice of BENCH_server.json the regression guard reads.
 // Current reports carry one entry per GOMAXPROCS configuration under
 // "configs"; reports from before the multi-config schema carried a single
@@ -96,6 +114,9 @@ type GuardReport struct {
 	// Scaling is the multi-pool scaling record; nil in reports recorded
 	// before device pools existed.
 	Scaling *GuardScaling `json:"scaling"`
+	// Policy is the adaptive-policy burst record; nil in reports recorded
+	// before the policy layer existed.
+	Policy *GuardPolicy `json:"policy"`
 
 	// Legacy single-config fields.
 	GlobalLock       GuardEngine `json:"global_lock"`
@@ -264,6 +285,43 @@ func (r *GuardReport) CheckScaling(minRatio float64) error {
 	if ratio < minRatio {
 		return fmt.Errorf("bench: 2 pools serve %.1f req/s vs %.1f on 1 pool (%.3fx, minimum %.2fx) — device pools are no longer scaling",
 			p2.ReqPerSec, p1.ReqPerSec, ratio, minRatio)
+	}
+	return nil
+}
+
+// CheckPolicyTail fails when the recorded policy-on arm of the bursty
+// workload shows a worse P99 than the static arm by more than maxRatio
+// allows, or sheds without buying deadline protection. CI runs it with 1.0:
+// under the recorded burst the policy arm must hold its served-request tail
+// at or below the static arm's AND miss strictly fewer deadlines — shedding
+// that does not protect admitted requests is pure loss. Reports recorded
+// before the policy layer (section absent) are skipped. The recorded tail
+// ratio is cross-checked against its inputs so a hand-edited report cannot
+// disagree with itself.
+func (r *GuardReport) CheckPolicyTail(maxRatio float64) error {
+	p := r.Policy
+	if p == nil {
+		return nil
+	}
+	if p.StaticP99Ns <= 0 || p.PolicyP99Ns <= 0 {
+		return fmt.Errorf("bench: policy record has non-positive P99 (static=%.1f policy=%.1f)",
+			p.StaticP99Ns, p.PolicyP99Ns)
+	}
+	ratio := p.Ratio()
+	if p.TailRatio != 0 {
+		const tol = 1e-6
+		if d := ratio - p.TailRatio; d > tol || d < -tol {
+			return fmt.Errorf("bench: recorded policy tail ratio %.6f disagrees with its inputs (%.6f) — stale or edited report",
+				p.TailRatio, ratio)
+		}
+	}
+	if ratio > maxRatio {
+		return fmt.Errorf("bench: policy-on P99 %.1f ns vs %.1f static (%.3fx, budget %.2fx) — the control layer is hurting the tail it exists to protect",
+			p.PolicyP99Ns, p.StaticP99Ns, ratio, maxRatio)
+	}
+	if p.PolicyMisses >= p.StaticMisses {
+		return fmt.Errorf("bench: policy arm missed %d deadlines vs %d static (shed %d) — shedding bought no deadline protection",
+			p.PolicyMisses, p.StaticMisses, p.PolicyShed)
 	}
 	return nil
 }

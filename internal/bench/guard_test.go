@@ -29,6 +29,12 @@ const ciJournalOverheadBudget = 1.10
 // one-pool throughput.
 const ciScalingBudget = 1.5
 
+// ciPolicyTailBudget bounds the adaptive policy's tail: under the recorded
+// burst, the policy arm's served-request P99 must not exceed the static
+// arm's (and CheckPolicyTail additionally requires strictly fewer deadline
+// misses).
+const ciPolicyTailBudget = 1.0
+
 // TestBenchGuard is the CI regression gate: the checked-in BENCH_server.json
 // must show every recorded configuration's pipelined engine at or above the
 // global-lock baseline and inside the allocation budget.
@@ -56,6 +62,9 @@ func TestBenchGuard(t *testing.T) {
 	if err := r.CheckScaling(ciScalingBudget); err != nil {
 		t.Fatalf("pool-scaling regression: %v", err)
 	}
+	if err := r.CheckPolicyTail(ciPolicyTailBudget); err != nil {
+		t.Fatalf("policy tail regression: %v", err)
+	}
 	for _, c := range r.Configs {
 		t.Logf("%s: pipelined %.0f req/s (%.1f allocs/cell) vs global-lock %.0f req/s (%.2fx)",
 			c.Label, c.Pipelined.ReqPerSec, c.Pipelined.AllocsPerCell, c.GlobalLock.ReqPerSec, c.Speedup())
@@ -73,6 +82,10 @@ func TestBenchGuard(t *testing.T) {
 			t.Logf("scaling: %d pools %.0f req/s", p.Pools, p.ReqPerSec)
 		}
 		t.Logf("scaling: 2-pool speedup %.3fx", s.Speedup2x1)
+	}
+	if p := r.Policy; p != nil {
+		t.Logf("policy: P99 %.1fms vs %.1fms static (%.3fx), misses %d vs %d, shed %d",
+			p.PolicyP99Ns/1e6, p.StaticP99Ns/1e6, p.Ratio(), p.PolicyMisses, p.StaticMisses, p.PolicyShed)
 	}
 }
 
@@ -392,6 +405,102 @@ func TestGuardScalingSkipsLegacyReports(t *testing.T) {
 	}
 	if err := r.CheckScaling(1.5); err != nil {
 		t.Fatalf("scaling gate fired on a legacy report: %v", err)
+	}
+}
+
+func TestGuardDetectsPolicyTailRegression(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"policy": {
+			"sla_ns": 10000000,
+			"static_p99_ns": 50000000,
+			"policy_p99_ns": 60000000,
+			"static_deadline_misses": 200,
+			"policy_deadline_misses": 50,
+			"policy_shed": 100,
+			"tail_ratio": 1.2
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.CheckPolicyTail(1.0)
+	if err == nil {
+		t.Fatal("guard accepted a 1.2x policy tail against a 1.0x budget")
+	}
+	if !strings.Contains(err.Error(), "1.200x") {
+		t.Fatalf("error %q does not report the measured ratio", err)
+	}
+	if err := r.CheckPolicyTail(1.25); err != nil {
+		t.Fatalf("budget 1.25 must accept ratio 1.2: %v", err)
+	}
+}
+
+func TestGuardDetectsPolicyMissRegression(t *testing.T) {
+	// The tail is fine but shedding bought no deadline protection: the
+	// policy arm must miss strictly fewer deadlines than the static arm.
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"policy": {
+			"sla_ns": 10000000,
+			"static_p99_ns": 50000000,
+			"policy_p99_ns": 40000000,
+			"static_deadline_misses": 100,
+			"policy_deadline_misses": 100,
+			"policy_shed": 80,
+			"tail_ratio": 0.8
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.CheckPolicyTail(1.0)
+	if err == nil {
+		t.Fatal("guard accepted a policy arm that missed as many deadlines as the static arm")
+	}
+	if !strings.Contains(err.Error(), "no deadline protection") {
+		t.Fatalf("error %q does not explain the miss regression", err)
+	}
+}
+
+func TestGuardDetectsInconsistentPolicyRecord(t *testing.T) {
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000},
+		"policy": {
+			"static_p99_ns": 50000000,
+			"policy_p99_ns": 40000000,
+			"static_deadline_misses": 100,
+			"policy_deadline_misses": 50,
+			"tail_ratio": 2.5
+		}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckPolicyTail(1.0); err == nil {
+		t.Fatal("guard accepted a policy record whose tail ratio disagrees with its inputs")
+	}
+}
+
+func TestGuardPolicySkipsLegacyReports(t *testing.T) {
+	// A report recorded before the policy layer (section absent) must pass
+	// the tail gate untouched.
+	path := writeGuardFile(t, `{
+		"global_lock": {"requests_per_sec": 4000},
+		"pipelined": {"requests_per_sec": 5000}
+	}`)
+	r, err := ReadGuardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckPolicyTail(1.0); err != nil {
+		t.Fatalf("policy tail gate fired on a legacy report: %v", err)
 	}
 }
 

@@ -243,6 +243,72 @@ func recordScalingPairs(t *testing.T, o ScalingOptions, pairs int) (one, two Sca
 	return med.one, med.two, med.ratio
 }
 
+// quickPolicy is the CI-sized bursty policy workload (one arm).
+func quickPolicy(on bool) PolicyOptions {
+	return PolicyOptions{PolicyOn: on, Requests: 150}
+}
+
+// TestLivePolicyServeWorkload is the correctness smoke for the policy
+// benchmark: both arms must account for every arrival (served + shed =
+// offered) with no failures. The tail/miss comparison itself is gated on the
+// recorded report by TestBenchGuard via CheckPolicyTail.
+func TestLivePolicyServeWorkload(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		r, err := RunLivePolicy(quickPolicy(on))
+		if err != nil {
+			t.Fatalf("policy=%v: %v", on, err)
+		}
+		if r.Served+r.Shed != r.Requests {
+			t.Fatalf("policy=%v: %d served + %d shed != %d offered — arrivals vanished",
+				on, r.Served, r.Shed, r.Requests)
+		}
+		if !on && r.Shed != 0 {
+			t.Fatalf("static arm shed %d requests with no gate installed", r.Shed)
+		}
+		t.Logf("policy=%v: served=%d shed=%d misses=%d p50=%v p99=%v",
+			on, r.Served, r.Shed, r.DeadlineMisses, r.P50, r.P99)
+	}
+}
+
+// recordPolicyPairs measures the adaptive policy's burst behavior:
+// interleaved pairs of the same scripted burst with the policy stack on and
+// off, reported as the median pair by tail ratio. Pairing, as in recordPairs,
+// keeps machine-state drift out of the comparison.
+func recordPolicyPairs(t *testing.T, o PolicyOptions, pairs int) (static, pol PolicyResult, ratio float64) {
+	t.Helper()
+	type pair struct {
+		static, pol PolicyResult
+		ratio       float64
+	}
+	run := func(on bool) PolicyResult {
+		oo := o
+		oo.PolicyOn = on
+		r, err := RunLivePolicy(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	var ps []pair
+	for i := 0; i < pairs; i++ {
+		var pr pair
+		if i%2 == 0 {
+			pr.static = run(false)
+			pr.pol = run(true)
+		} else {
+			pr.pol = run(true)
+			pr.static = run(false)
+		}
+		pr.ratio = float64(pr.pol.P99) / float64(pr.static.P99)
+		t.Logf("policy pair %d: static p99=%v (%d misses), policy p99=%v (%d misses, %d shed), ratio %.3f",
+			i, pr.static.P99, pr.static.DeadlineMisses, pr.pol.P99, pr.pol.DeadlineMisses, pr.pol.Shed, pr.ratio)
+		ps = append(ps, pr)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ratio < ps[j].ratio })
+	med := ps[pairs/2]
+	return med.static, med.pol, med.ratio
+}
+
 // TestLiveJournaledEngineConverges is the correctness gate for the journaled
 // benchmark arm: the journal-on run must serve the full workload, and its
 // journal must converge — every admitted request durably terminal, nothing
@@ -318,6 +384,13 @@ func TestRecordLiveBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("scaling: 4 pools %.0f req/s", sFour.ReqPerSec)
+	t.Logf("=== adaptive policy burst (GOMAXPROCS=%d) ===", prev)
+	po := PolicyOptions{}.withDefaults()
+	pStatic, pPolicy, pRatio := recordPolicyPairs(t, po, pairs)
+	if pPolicy.DeadlineMisses >= pStatic.DeadlineMisses {
+		t.Fatalf("median policy pair regressed deadline misses (%d policy vs %d static) — not recording a failing report",
+			pPolicy.DeadlineMisses, pStatic.DeadlineMisses)
+	}
 	out := map[string]any{
 		"benchmark": "live-server-throughput",
 		"recorded":  time.Now().UTC().Format("2006-01-02"),
@@ -344,6 +417,16 @@ func TestRecordLiveBench(t *testing.T) {
 				{"pools": 4, "requests_per_sec": sFour.ReqPerSec},
 			},
 			"speedup_2_pools_over_1": sRatio,
+		},
+		"policy": map[string]any{
+			"options":                po,
+			"sla_ns":                 float64(po.SLA.Nanoseconds()),
+			"static_p99_ns":          float64(pStatic.P99.Nanoseconds()),
+			"policy_p99_ns":          float64(pPolicy.P99.Nanoseconds()),
+			"static_deadline_misses": pStatic.DeadlineMisses,
+			"policy_deadline_misses": pPolicy.DeadlineMisses,
+			"policy_shed":            pPolicy.Shed,
+			"tail_ratio":             pRatio,
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

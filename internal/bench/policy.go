@@ -1,0 +1,199 @@
+// Bursty open-loop policy benchmark: the pipelined engine serving a scripted
+// quiet → spike → quiet arrival schedule with the adaptive policy stack on or
+// off. Arrivals are open-loop (the submitter never waits for completions), so
+// the spike genuinely overloads the engine: the static arm queues everything
+// and blows its tail latency, the policy arm sheds at the admission gate and
+// keeps the requests it serves inside the SLA. The two arms land in the
+// "policy" section of BENCH_server.json, gated by GuardReport.CheckPolicyTail.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"batchmaker/internal/cellgraph"
+	"batchmaker/internal/metrics"
+	"batchmaker/internal/policy"
+	"batchmaker/internal/rnn"
+	"batchmaker/internal/server"
+	"batchmaker/internal/tensor"
+)
+
+// PolicyOptions sizes the bursty policy benchmark.
+type PolicyOptions struct {
+	// PolicyOn installs the adaptive admission + batching control layer.
+	PolicyOn bool
+	// SLA is the per-request latency budget: the policy arm's controller
+	// target, and the deadline-miss threshold for both arms (default 10ms).
+	SLA time.Duration
+	// Requests is the total arrival count across all three phases
+	// (default 300; thirds are quiet/spike/quiet).
+	Requests int
+	// BaseGap is the quiet-phase inter-arrival gap (default 1.5ms).
+	BaseGap time.Duration
+	// SpikeScale divides BaseGap during the middle third (default 12).
+	SpikeScale int
+	// Hidden is the LSTM hidden width (default 32).
+	Hidden int
+	// KernelDwell is the simulated per-task device occupancy (default 400µs).
+	KernelDwell time.Duration
+	// Workers is the pipeline worker count (default 2).
+	Workers int
+	// MaxBatch is the static per-type batch ceiling (default 8).
+	MaxBatch int
+	// MaxTasksToSubmit is the per-round task bound (default 2).
+	MaxTasksToSubmit int
+	// Seed offsets the workload RNG (default 1).
+	Seed uint64
+}
+
+func (o PolicyOptions) withDefaults() PolicyOptions {
+	if o.SLA == 0 {
+		o.SLA = 10 * time.Millisecond
+	}
+	if o.Requests == 0 {
+		o.Requests = 300
+	}
+	if o.BaseGap == 0 {
+		o.BaseGap = 1500 * time.Microsecond
+	}
+	if o.SpikeScale == 0 {
+		o.SpikeScale = 12
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 32
+	}
+	if o.KernelDwell == 0 {
+		o.KernelDwell = 400 * time.Microsecond
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxTasksToSubmit == 0 {
+		o.MaxTasksToSubmit = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// PolicyResult is one arm's measurement.
+type PolicyResult struct {
+	PolicyOn bool `json:"policy_on"`
+	Requests int  `json:"requests"`
+	// Served is the number of admitted requests that completed.
+	Served int `json:"served"`
+	// Shed is the number of arrivals the admission gate rejected.
+	Shed int `json:"shed"`
+	// DeadlineMisses counts served requests whose end-to-end latency
+	// exceeded the SLA.
+	DeadlineMisses int           `json:"deadline_misses"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	// P50 and P99 are end-to-end latency percentiles over served requests.
+	P50 time.Duration `json:"latency_p50_ns"`
+	P99 time.Duration `json:"latency_p99_ns"`
+}
+
+// RunLivePolicy drives the scripted burst through a live server and measures
+// one arm. Arrival times, graph shapes and inputs are a pure function of the
+// options, so the two arms of a comparison see identical offered load.
+func RunLivePolicy(o PolicyOptions) (PolicyResult, error) {
+	o = o.withDefaults()
+	cell := rnn.NewLSTMCell("lstm", 32, o.Hidden, tensor.NewRNG(o.Seed+7))
+	rng := tensor.NewRNG(o.Seed)
+	graphs := make([]*cellgraph.Graph, o.Requests)
+	for i := range graphs {
+		steps := 4 + rng.Intn(9) // chains of 4..12 cells
+		g, err := cellgraph.UnfoldChain(cell, tensor.RandUniform(rng, 1, steps, 32))
+		if err != nil {
+			return PolicyResult{}, err
+		}
+		graphs[i] = g
+	}
+
+	cfg := server.Config{
+		Workers:          o.Workers,
+		MaxTasksToSubmit: o.MaxTasksToSubmit,
+		Cells:            []server.CellSpec{{Cell: cell, MaxBatch: o.MaxBatch}},
+		Faults:           kernelPacer{dwell: o.KernelDwell},
+	}
+	if o.PolicyOn {
+		cfg.Policy = policy.Config{
+			Mode:         policy.ModeFull,
+			SLA:          o.SLA,
+			RateHalfLife: 100 * time.Millisecond,
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return PolicyResult{}, err
+	}
+	defer srv.Stop()
+
+	// Open-loop arrivals: quiet third at BaseGap, spike third at
+	// BaseGap/SpikeScale, quiet third again. The submitter sleeps out each
+	// gap regardless of how far behind the engine has fallen; a per-request
+	// goroutine stamps the latency the moment the handle resolves.
+	type flight struct {
+		h   *server.Handle
+		lat time.Duration
+		err error
+	}
+	var wg sync.WaitGroup
+	inflight := make([]*flight, 0, o.Requests)
+	res := PolicyResult{PolicyOn: o.PolicyOn, Requests: o.Requests}
+	third := o.Requests / 3
+	start := time.Now()
+	next := start
+	for i, g := range graphs {
+		gap := o.BaseGap
+		if i >= third && i < 2*third {
+			gap = o.BaseGap / time.Duration(o.SpikeScale)
+		}
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		next = next.Add(gap)
+		t0 := time.Now()
+		h, err := srv.SubmitAsyncOpts(g, server.SubmitOpts{})
+		if err != nil {
+			if !errors.Is(err, server.ErrOverloaded) {
+				return PolicyResult{}, fmt.Errorf("bench: submit %d: %w", i, err)
+			}
+			res.Shed++
+			continue
+		}
+		f := &flight{h: h}
+		inflight = append(inflight, f)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-f.h.Done()
+			f.lat = time.Since(t0)
+			_, f.err = f.h.Result()
+		}()
+	}
+	wg.Wait()
+
+	lat := metrics.NewWindow(o.Requests)
+	for i, f := range inflight {
+		if f.err != nil {
+			return PolicyResult{}, fmt.Errorf("bench: request %d failed: %w", i, f.err)
+		}
+		lat.Add(f.lat)
+		res.Served++
+		if f.lat > o.SLA {
+			res.DeadlineMisses++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.P50 = lat.P50()
+	res.P99 = lat.P99()
+	return res, nil
+}

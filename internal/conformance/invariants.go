@@ -73,9 +73,9 @@ func Check(m *Model, w *Workload, res *LiveResult, oracle map[int]map[string]*te
 	o := res.Stats.Outcomes
 	admitted := len(w.Reqs) - counts[OutcomeShed]
 	for _, c := range []struct {
-		name      string
-		observed  int
-		counter   int
+		name     string
+		observed int
+		counter  int
 	}{
 		{"admitted", admitted, o.Admitted},
 		{"completed", counts[OutcomeCompleted], o.Completed},

@@ -9,6 +9,7 @@ import (
 
 	"batchmaker/internal/core"
 	"batchmaker/internal/obsv"
+	"batchmaker/internal/policy"
 	"batchmaker/internal/server"
 	"batchmaker/internal/tensor"
 )
@@ -66,6 +67,11 @@ type LiveOpts struct {
 	// MaxQueuedCells, when positive, enables admission control so the run
 	// also exercises load shedding.
 	MaxQueuedCells int
+	// Policy, when enabled, installs the adaptive control layer
+	// (Little's-law admission + AIMD MaxBatch), so runs exercise
+	// policy-driven shedding and batch-ceiling moves under the full
+	// invariant set.
+	Policy policy.Config
 }
 
 func (o LiveOpts) withDefaults() LiveOpts {
@@ -125,6 +131,7 @@ func RunLive(m *Model, w *Workload, opts LiveOpts) (*LiveResult, error) {
 		Faults:           opts.Faults,
 		SchedulerChaos:   opts.Chaos,
 		MaxQueuedCells:   opts.MaxQueuedCells,
+		Policy:           opts.Policy,
 		Cells: []server.CellSpec{
 			{Cell: m.LSTM, MaxBatch: opts.MaxBatch},
 			{Cell: m.Enc, MaxBatch: opts.MaxBatch, Priority: 0},
@@ -149,10 +156,10 @@ func RunLive(m *Model, w *Workload, opts LiveOpts) (*LiveResult, error) {
 	res := &LiveResult{
 		MaxBatch: opts.MaxBatch,
 		Outcome:  make(map[int]Outcome, len(w.Reqs)),
-		Errs:    make(map[int]error, len(w.Reqs)),
-		Results: make(map[int]map[string]*tensor.Tensor),
-		IDs:     make(map[int]core.RequestID),
-		RevIDs:  make(map[core.RequestID]int),
+		Errs:     make(map[int]error, len(w.Reqs)),
+		Results:  make(map[int]map[string]*tensor.Tensor),
+		IDs:      make(map[int]core.RequestID),
+		RevIDs:   make(map[core.RequestID]int),
 	}
 
 	type admitted struct {

@@ -1,0 +1,103 @@
+package core
+
+import "sort"
+
+// EDFQueue is an earliest-deadline-first queue with FIFO tie-breaking: items
+// are held in deadline order (deadline 0 means "no deadline" and sorts after
+// every real deadline), and items with equal — or absent — deadlines keep
+// their insertion order via a caller-supplied monotone sequence number.
+//
+// The scheduler uses it as each cell type's subgraph queue, so within a type
+// the request closest to its SLA is batched first; a queue whose items all
+// lack deadlines degenerates to exactly the FIFO admission order the paper's
+// Algorithm 1 scans. Like the Scheduler itself, it is not synchronized.
+type EDFQueue[T any] struct {
+	items []edfItem[T]
+}
+
+type edfItem[T any] struct {
+	v        T
+	deadline int64 // nanoseconds (wall or virtual); 0 = none, sorts last
+	seq      uint64
+}
+
+// edfBefore reports whether entry (d1, s1) runs before (d2, s2): earlier
+// deadline first, deadline-less (0) last, ties and the deadline-less region
+// in sequence (FIFO) order.
+func edfBefore(d1 int64, s1 uint64, d2 int64, s2 uint64) bool {
+	if d1 != d2 {
+		if d1 == 0 {
+			return false
+		}
+		if d2 == 0 {
+			return true
+		}
+		return d1 < d2
+	}
+	return s1 < s2
+}
+
+// Len returns the number of queued items.
+func (q *EDFQueue[T]) Len() int { return len(q.items) }
+
+// At returns the i-th item in EDF order.
+func (q *EDFQueue[T]) At(i int) T { return q.items[i].v }
+
+// Push inserts v at its EDF position. seq must be monotone across pushes
+// (the scheduler uses the subgraph ID); it breaks deadline ties FIFO. The
+// common case — no deadline, or the latest deadline so far — appends, so a
+// deadline-free workload pays one comparison over plain append.
+func (q *EDFQueue[T]) Push(v T, deadline int64, seq uint64) {
+	it := edfItem[T]{v: v, deadline: deadline, seq: seq}
+	n := len(q.items)
+	if n == 0 || !edfBefore(deadline, seq, q.items[n-1].deadline, q.items[n-1].seq) {
+		q.items = append(q.items, it)
+		return
+	}
+	i := sort.Search(n, func(i int) bool {
+		return edfBefore(deadline, seq, q.items[i].deadline, q.items[i].seq)
+	})
+	q.items = append(q.items, edfItem[T]{})
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = it
+}
+
+// Peek returns the front item without removing it.
+func (q *EDFQueue[T]) Peek() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.items[0].v, true
+}
+
+// Pop removes and returns the front (earliest-deadline) item.
+func (q *EDFQueue[T]) Pop() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0].v
+	var zero edfItem[T]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Filter removes every item keep rejects, preserving order. It is the
+// queue's cancellation primitive: retired or cancelled items are compacted
+// out in one pass.
+func (q *EDFQueue[T]) Filter(keep func(T) bool) {
+	live := q.items[:0]
+	for _, it := range q.items {
+		if keep(it.v) {
+			live = append(live, it)
+		}
+	}
+	var zero edfItem[T]
+	for i := len(live); i < len(q.items); i++ {
+		q.items[i] = zero
+	}
+	q.items = live
+}

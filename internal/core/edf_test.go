@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"batchmaker/internal/cellgraph"
+)
+
+// edfModel is the reference implementation the property tests compare
+// against: a plain slice sorted by (deadline with 0 last, seq).
+type edfModel struct {
+	items []edfItem[int]
+}
+
+func (m *edfModel) push(v int, deadline int64, seq uint64) {
+	it := edfItem[int]{v: v, deadline: deadline, seq: seq}
+	pos := len(m.items)
+	for i, e := range m.items {
+		if edfBefore(deadline, seq, e.deadline, e.seq) {
+			pos = i
+			break
+		}
+	}
+	m.items = append(m.items, edfItem[int]{})
+	copy(m.items[pos+1:], m.items[pos:])
+	m.items[pos] = it
+}
+
+func (m *edfModel) pop() (int, bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	v := m.items[0].v
+	m.items = m.items[1:]
+	return v, true
+}
+
+func (m *edfModel) filter(keep func(int) bool) {
+	live := m.items[:0]
+	for _, it := range m.items {
+		if keep(it.v) {
+			live = append(live, it)
+		}
+	}
+	m.items = live
+}
+
+// checkAgainstModel drains both queues and fails on the first divergence.
+func checkAgainstModel(t *testing.T, q *EDFQueue[int], m *edfModel) {
+	t.Helper()
+	if q.Len() != len(m.items) {
+		t.Fatalf("queue holds %d items, model %d", q.Len(), len(m.items))
+	}
+	for i := 0; i < q.Len(); i++ {
+		if got, want := q.At(i), m.items[i].v; got != want {
+			t.Fatalf("position %d: queue %d, model %d", i, got, want)
+		}
+	}
+}
+
+// TestEDFQueueOrdering is the core property: for random interleavings of
+// push/pop/filter with and without deadlines, pops come out
+// deadline-ordered, FIFO among equal or absent deadlines, and filtered
+// (cancelled) entries never surface.
+func TestEDFQueueOrdering(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var q EDFQueue[int]
+		m := &edfModel{}
+		cancelled := make(map[int]bool)
+		seq := uint64(0)
+		next := 0
+		for op := 0; op < 300; op++ {
+			switch r := rng.Intn(10); {
+			case r < 6: // push
+				var deadline int64
+				switch rng.Intn(3) {
+				case 0: // none
+				case 1: // fresh deadline
+					deadline = 1 + int64(rng.Intn(50))
+				case 2: // duplicate of an existing deadline, exercising ties
+					deadline = 1 + int64(rng.Intn(5))
+				}
+				seq++
+				q.Push(next, deadline, seq)
+				m.push(next, deadline, seq)
+				next++
+			case r < 8: // pop
+				got, ok := q.Pop()
+				want, wok := m.pop()
+				if ok != wok || got != want {
+					t.Fatalf("trial %d op %d: pop = (%d,%v), model = (%d,%v)", trial, op, got, ok, want, wok)
+				}
+				if ok && cancelled[got] {
+					t.Fatalf("trial %d op %d: cancelled entry %d surfaced", trial, op, got)
+				}
+			default: // cancel a random live value
+				if q.Len() == 0 {
+					continue
+				}
+				victim := q.At(rng.Intn(q.Len()))
+				cancelled[victim] = true
+				keep := func(v int) bool { return v != victim }
+				q.Filter(keep)
+				m.filter(keep)
+			}
+			checkAgainstModel(t, &q, m)
+		}
+		// Drain: the remaining pops must be deadline-ordered and complete.
+		for q.Len() > 0 {
+			got, _ := q.Pop()
+			want, _ := m.pop()
+			if got != want {
+				t.Fatalf("trial %d drain: pop %d, model %d", trial, got, want)
+			}
+			if cancelled[got] {
+				t.Fatalf("trial %d drain: cancelled entry %d surfaced", trial, got)
+			}
+		}
+	}
+}
+
+// TestEDFQueueFIFOWithoutDeadlines pins the degenerate case the scheduler's
+// golden timelines rely on: no deadlines ⇒ pure insertion order.
+func TestEDFQueueFIFOWithoutDeadlines(t *testing.T) {
+	var q EDFQueue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i, 0, uint64(i))
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d,%v), want FIFO order", i, v, ok)
+		}
+	}
+}
+
+// TestEDFQueueDeadlinesBeforeDeadlineless pins the 0-sorts-last rule: any
+// real deadline runs before every deadline-less entry, however late it was
+// pushed.
+func TestEDFQueueDeadlinesBeforeDeadlineless(t *testing.T) {
+	var q EDFQueue[int]
+	q.Push(0, 0, 1)
+	q.Push(1, 0, 2)
+	q.Push(2, 900, 3) // late deadline still beats no deadline
+	q.Push(3, 100, 4)
+	want := []int{3, 2, 0, 1}
+	for i, w := range want {
+		if v, _ := q.Pop(); v != w {
+			t.Fatalf("pop %d = %d, want %d", i, v, w)
+		}
+	}
+}
+
+// FuzzEDFQueue drives the queue from a raw op stream and checks the EDF
+// invariant on every pop: no surviving entry has (deadline, seq) ordered
+// before the popped one, and cancelled entries never surface.
+func FuzzEDFQueue(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 0, 1, 3, 2, 0, 7, 1})
+	f.Add([]byte{1, 1, 1, 2, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q EDFQueue[int]
+		meta := make(map[int]edfItem[int]) // value -> its key, for invariant checks
+		cancelled := make(map[int]bool)
+		seq := uint64(0)
+		next := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			switch ops[i] % 3 {
+			case 0: // push; ops[i+1] encodes the deadline (0..63, 0 = none)
+				d := int64(ops[i+1] % 64)
+				seq++
+				meta[next] = edfItem[int]{deadline: d, seq: seq}
+				q.Push(next, d, seq)
+				next++
+			case 1: // pop and check minimality
+				v, ok := q.Pop()
+				if !ok {
+					continue
+				}
+				if cancelled[v] {
+					t.Fatalf("cancelled entry %d surfaced", v)
+				}
+				k := meta[v]
+				for j := 0; j < q.Len(); j++ {
+					rest := meta[q.At(j)]
+					if edfBefore(rest.deadline, rest.seq, k.deadline, k.seq) {
+						t.Fatalf("pop %d (deadline %d seq %d) left earlier entry %d (deadline %d seq %d) queued",
+							v, k.deadline, k.seq, q.At(j), rest.deadline, rest.seq)
+					}
+				}
+			case 2: // cancel by value index
+				if q.Len() == 0 {
+					continue
+				}
+				victim := q.At(int(ops[i+1]) % q.Len())
+				cancelled[victim] = true
+				q.Filter(func(v int) bool { return v != victim })
+			}
+		}
+	})
+}
+
+// TestSchedulerEDFOrdersReadyQueue checks the integration: two same-type
+// single-chain requests where the later-admitted one carries the earlier
+// deadline must have its nodes batched first.
+func TestSchedulerEDFOrdersReadyQueue(t *testing.T) {
+	s, err := NewScheduler(Config{Types: []TypeConfig{{Key: "lstm", MaxBatch: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddSubgraph(SubgraphSpec{Req: 1, TypeKey: "lstm", Nodes: []cellgraph.NodeID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddSubgraph(SubgraphSpec{Req: 2, TypeKey: "lstm", Nodes: []cellgraph.NodeID{0}, Deadline: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddSubgraph(SubgraphSpec{Req: 3, TypeKey: "lstm", Nodes: []cellgraph.NodeID{0}, Deadline: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// MaxBatch 1 ⇒ one request per task; EDF order is req 3 (deadline 10),
+	// req 2 (deadline 50), then req 1 (no deadline, admission order).
+	tasks := s.Schedule(0)
+	want := []RequestID{3, 2, 1}
+	if len(tasks) != len(want) {
+		t.Fatalf("got %d tasks, want %d", len(tasks), len(want))
+	}
+	for i, w := range want {
+		if got := tasks[i].Nodes[0].Req; got != w {
+			t.Fatalf("task %d batched request %d, want %d (EDF order)", i, got, w)
+		}
+	}
+}

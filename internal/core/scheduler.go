@@ -110,6 +110,11 @@ type SubgraphSpec struct {
 	// this subgraph. Nodes absent from Deps (or with empty lists) are ready
 	// immediately.
 	Deps map[cellgraph.NodeID][]cellgraph.NodeID
+	// Deadline, when nonzero, is the owning request's SLA expiry in
+	// nanoseconds (wall or virtual — the scheduler only compares). Within a
+	// cell type, subgraphs are batched earliest-deadline-first; deadline-less
+	// subgraphs follow in admission order (see EDFQueue).
+	Deadline int64
 }
 
 // Task is a batched cell invocation assembled by the scheduler: up to
@@ -163,6 +168,8 @@ type subgraph struct {
 	unissued int // nodes not yet placed into any task
 	inflight int // tasks containing this subgraph still running
 	pinned   WorkerID
+	// deadline mirrors SubgraphSpec.Deadline (0 = none) for EDF placement.
+	deadline int64
 
 	// pendingTake is a scratch field written by formBatchedTask and
 	// consumed by updateNodesDependency for the same candidate task. A
@@ -173,9 +180,15 @@ type subgraph struct {
 
 type cellType struct {
 	cfg TypeConfig
-	// queue of live subgraphs in admission order (FIFO: oldest requests
-	// batch first).
-	queue []*subgraph
+	// baseMax is the configured MaxBatch ceiling; cfg.MaxBatch is the live
+	// (possibly adaptively lowered) bound, clamped to [MinBatch, baseMax] by
+	// SetMaxBatch.
+	baseMax int
+	// queue of live subgraphs in earliest-deadline-first order, FIFO among
+	// equal or absent deadlines — so a deadline-free workload batches in
+	// exactly the paper's admission order, while mixed traffic serves the
+	// request closest to its SLA first.
+	queue EDFQueue[*subgraph]
 	// readyNodes is the cached count of schedule-ready nodes across the
 	// queue, maintained incrementally.
 	readyNodes int
@@ -247,7 +260,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		if _, dup := s.types[tc.Key]; dup {
 			return nil, fmt.Errorf("core: duplicate cell type %q", tc.Key)
 		}
-		s.types[tc.Key] = &cellType{cfg: tc}
+		s.types[tc.Key] = &cellType{cfg: tc, baseMax: tc.MaxBatch}
 		s.typeOrder = append(s.typeOrder, tc.Key)
 	}
 	sort.Strings(s.typeOrder)
@@ -277,6 +290,7 @@ func (s *Scheduler) AddSubgraph(spec SubgraphSpec) (SubgraphID, error) {
 		dependents:  make(map[cellgraph.NodeID][]cellgraph.NodeID),
 		unissued:    len(spec.Nodes),
 		pinned:      NoWorker,
+		deadline:    spec.Deadline,
 	}
 	s.nextSub++
 	member := make(map[cellgraph.NodeID]bool, len(spec.Nodes))
@@ -310,7 +324,9 @@ func (s *Scheduler) AddSubgraph(spec SubgraphSpec) (SubgraphID, error) {
 	if len(sg.ready) == 0 {
 		return 0, fmt.Errorf("core: subgraph for request %d has no initially ready node (internal cycle?)", spec.Req)
 	}
-	ct.queue = append(ct.queue, sg)
+	// EDF placement: subgraph IDs are monotone, so deadline-less specs (and
+	// deadline ties) keep admission order.
+	ct.queue.Push(sg, sg.deadline, uint64(sg.id))
 	ct.readyNodes += len(sg.ready)
 	s.totalReady += len(sg.ready)
 	s.liveByID[sg.id] = sg
@@ -359,14 +375,9 @@ func (s *Scheduler) CancelRequest(req RequestID) int {
 		// (unissued is now 0, so no further tasks can pick it up).
 	}
 	for key := range touched {
-		ct := s.types[key]
-		live := ct.queue[:0]
-		for _, sg := range ct.queue {
-			if sg.unissued > 0 || sg.inflight > 0 {
-				live = append(live, sg)
-			}
-		}
-		ct.queue = live
+		s.types[key].queue.Filter(func(sg *subgraph) bool {
+			return sg.unissued > 0 || sg.inflight > 0
+		})
 	}
 	return purged
 }
@@ -497,7 +508,8 @@ func (s *Scheduler) batch(ct *cellType, worker WorkerID, dev DeviceID, remote bo
 func (s *Scheduler) formBatchedTask(ct *cellType, worker WorkerID) ([]NodeRef, []*subgraph) {
 	var nodes []NodeRef
 	var subs []*subgraph
-	for _, sg := range ct.queue {
+	for i := 0; i < ct.queue.Len(); i++ {
+		sg := ct.queue.At(i)
 		if sg.pinned != NoWorker && sg.pinned != worker {
 			continue
 		}
@@ -608,13 +620,9 @@ func (s *Scheduler) TaskCompleted(id TaskID) error {
 		}
 	}
 	if retire {
-		live := ct.queue[:0]
-		for _, sg := range ct.queue {
-			if sg.unissued > 0 || sg.inflight > 0 {
-				live = append(live, sg)
-			}
-		}
-		ct.queue = live
+		ct.queue.Filter(func(sg *subgraph) bool {
+			return sg.unissued > 0 || sg.inflight > 0
+		})
 	}
 	return nil
 }
@@ -649,3 +657,33 @@ func (s *Scheduler) RequestSubgraphs(req RequestID) int { return len(s.byReq[req
 
 // InflightTasks returns the number of submitted-but-uncompleted tasks.
 func (s *Scheduler) InflightTasks() int { return len(s.inflight) }
+
+// MaxBatch returns a cell type's live maximum batch size (0 for unknown
+// types). It starts at the configured value and moves only via SetMaxBatch.
+func (s *Scheduler) MaxBatch(typeKey string) int {
+	if ct, ok := s.types[typeKey]; ok {
+		return ct.cfg.MaxBatch
+	}
+	return 0
+}
+
+// SetMaxBatch adjusts a cell type's live maximum batch size — the adaptive
+// policy layer's actuator. The value is clamped to [MinBatch, configured
+// MaxBatch]: the offline-tuned configuration stays the ceiling, the policy
+// only trades batch size away (and back) under SLA pressure. It returns the
+// clamped value actually installed (0 for unknown types). In-flight tasks
+// are unaffected; the next formBatchedTask call sees the new bound.
+func (s *Scheduler) SetMaxBatch(typeKey string, n int) int {
+	ct, ok := s.types[typeKey]
+	if !ok {
+		return 0
+	}
+	if n < ct.cfg.MinBatch {
+		n = ct.cfg.MinBatch
+	}
+	if n > ct.baseMax {
+		n = ct.baseMax
+	}
+	ct.cfg.MaxBatch = n
+	return n
+}

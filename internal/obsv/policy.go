@@ -1,0 +1,66 @@
+package obsv
+
+// Policy metric family names. The adaptive control layer (internal/policy)
+// publishes these through the unified registry; they only appear in the
+// exposition when a policy controller is actually wired, so policy-off
+// deployments keep the golden exposition unchanged.
+const (
+	MetricPolicySheds     = "batchmaker_policy_shed_total"
+	MetricPolicyGateFlips = "batchmaker_policy_gate_flips_total"
+	MetricPolicyShedding  = "batchmaker_policy_shedding"
+	MetricPolicyEstWait   = "batchmaker_policy_est_wait_seconds"
+	MetricPolicyMaxBatch  = "batchmaker_policy_max_batch"
+)
+
+// PolicyMetrics groups the adaptive-policy handles. Built against a nil
+// registry it is fully inert, so the controller never branches on whether
+// metrics are wired.
+type PolicyMetrics struct {
+	// Sheds counts requests rejected by the Little's-law admission gate.
+	Sheds *Counter
+	// GateFlips counts admit→shed and shed→admit transitions; a high rate
+	// relative to Sheds means the hysteresis band is too narrow.
+	GateFlips *Counter
+	// Shedding is 1 while the gate is in its shedding state, else 0.
+	Shedding *Gauge
+	// EstWait is the gate's latest Little's-law queue-wait estimate.
+	EstWait *FloatGauge
+	// maxBatch holds the per-cell-type adaptive MaxBatch gauges, created
+	// lazily as types first report.
+	reg      *Registry
+	maxBatch map[string]*Gauge
+}
+
+// NewPolicyMetrics registers the policy families in reg (which may be nil,
+// yielding an inert instance).
+func NewPolicyMetrics(reg *Registry) *PolicyMetrics {
+	return &PolicyMetrics{
+		Sheds: reg.Counter(MetricPolicySheds,
+			"Requests rejected by the adaptive admission gate."),
+		GateFlips: reg.Counter(MetricPolicyGateFlips,
+			"Admission gate state transitions (admit<->shed)."),
+		Shedding: reg.Gauge(MetricPolicyShedding,
+			"1 while the admission gate is shedding, else 0."),
+		EstWait: reg.FloatGauge(MetricPolicyEstWait,
+			"Little's-law estimated queue wait at the last admission decision."),
+		reg:      reg,
+		maxBatch: make(map[string]*Gauge),
+	}
+}
+
+// MaxBatch returns the adaptive-MaxBatch gauge for a cell type, registering
+// it on first use. Safe on an inert instance (returns a nil, no-op gauge).
+// The policy controller is single-goroutine, so the lazy map needs no lock.
+func (m *PolicyMetrics) MaxBatch(typeKey string) *Gauge {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	if g, ok := m.maxBatch[typeKey]; ok {
+		return g
+	}
+	g := m.reg.GaugeVec(MetricPolicyMaxBatch,
+		"Current adaptive MaxBatch per cell type.",
+		[]string{"cell_type"}, []string{typeKey})
+	m.maxBatch[typeKey] = g
+	return g
+}

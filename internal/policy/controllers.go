@@ -1,0 +1,211 @@
+package policy
+
+import (
+	"math"
+	"time"
+)
+
+// RateEstimator tracks service throughput (cells completed per second) as a
+// bucketed exponentially-weighted moving average. Time is bucketed so that a
+// burst of same-instant completions folds into one rate sample, and quiet
+// gaps decay the estimate in closed form. All timestamps are caller-supplied
+// nanoseconds (wall or virtual), making the estimator fully deterministic.
+type RateEstimator struct {
+	bucketNs int64
+	// foldW is the EWMA weight of one bucket: 1 - 0.5^(bucket/halfLife).
+	foldW  float64
+	cur    int64 // current bucket index
+	cells  float64
+	rate   float64 // cells per second
+	seeded bool
+	primed bool // rate holds at least one folded sample
+}
+
+// NewRateEstimator builds an estimator whose EWMA half-life is halfLife.
+// Buckets are halfLife/8 (at least 1ms) wide.
+func NewRateEstimator(halfLife time.Duration) *RateEstimator {
+	bucket := halfLife.Nanoseconds() / 8
+	if bucket < int64(time.Millisecond) {
+		bucket = int64(time.Millisecond)
+	}
+	return &RateEstimator{
+		bucketNs: bucket,
+		foldW:    1 - math.Pow(0.5, float64(bucket)/float64(halfLife.Nanoseconds())),
+	}
+}
+
+// Observe records that cells finished service at nowNs.
+func (e *RateEstimator) Observe(nowNs int64, cells int) {
+	e.roll(nowNs)
+	e.cells += float64(cells)
+}
+
+// Rate returns the current throughput estimate in cells per second, decayed
+// to nowNs. Zero until the first bucket has folded.
+func (e *RateEstimator) Rate(nowNs int64) float64 {
+	e.roll(nowNs)
+	return e.rate
+}
+
+// roll advances to nowNs's bucket, folding the pending bucket into the EWMA
+// and decaying across any empty buckets in between.
+func (e *RateEstimator) roll(nowNs int64) {
+	idx := nowNs / e.bucketNs
+	if !e.seeded {
+		e.cur, e.seeded = idx, true
+		return
+	}
+	if idx <= e.cur {
+		return
+	}
+	inst := e.cells * 1e9 / float64(e.bucketNs)
+	if !e.primed {
+		e.rate, e.primed = inst, true
+	} else {
+		e.rate += e.foldW * (inst - e.rate)
+	}
+	// The remaining idx-cur-1 buckets are empty: decay in closed form.
+	if empty := idx - e.cur - 1; empty > 0 {
+		e.rate *= math.Pow(1-e.foldW, float64(empty))
+	}
+	e.cells = 0
+	e.cur = idx
+}
+
+// AdmissionGate is the Little's-law shed decision with hysteresis: the
+// expected wait of a new request is queuedCells / serviceRate; the gate
+// starts shedding when that estimate crosses SLA×HighRatio and keeps
+// shedding until it falls below SLA×LowRatio, so a noisy estimate near one
+// threshold cannot flap the gate every request.
+type AdmissionGate struct {
+	highNs   float64
+	lowNs    float64
+	minQueue int
+	shedding bool
+	sheds    int64
+	flips    int64
+}
+
+// NewAdmissionGate builds a gate from cfg (defaults applied by the caller).
+func NewAdmissionGate(cfg Config) *AdmissionGate {
+	sla := float64(cfg.SLA.Nanoseconds())
+	return &AdmissionGate{
+		highNs:   sla * cfg.HighRatio,
+		lowNs:    sla * cfg.LowRatio,
+		minQueue: cfg.MinQueue,
+	}
+}
+
+// Decide evaluates one admission. queuedCells is the ready+inflight cell
+// backlog ahead of the request; cellsPerSec is the RateEstimator's current
+// throughput. flipped reports whether this decision changed the gate state.
+func (g *AdmissionGate) Decide(queuedCells int, cellsPerSec float64) (d Decision, flipped bool) {
+	var estNs float64
+	switch {
+	case queuedCells < g.minQueue:
+		// Below the floor the wait is negligible and — more importantly —
+		// a decayed-to-zero rate after a quiet spell must not shed the
+		// first arrivals of a new burst.
+		estNs = 0
+	case cellsPerSec > 0:
+		estNs = float64(queuedCells) / cellsPerSec * 1e9
+		if max := 100 * g.highNs; estNs > max {
+			estNs = max
+		}
+	default:
+		// No measured throughput yet (the estimator has not primed): no
+		// basis for a wait estimate, so admit — the static queue bounds
+		// still protect a server that never completes anything.
+		estNs = 0
+	}
+	if g.shedding {
+		if estNs < g.lowNs {
+			g.shedding = false
+			g.flips++
+			flipped = true
+		}
+	} else if estNs > g.highNs {
+		g.shedding = true
+		g.flips++
+		flipped = true
+	}
+	d.Admit = !g.shedding
+	d.EstWait = time.Duration(estNs)
+	if g.shedding {
+		g.sheds++
+		retry := estNs - g.lowNs
+		if retry < float64(time.Millisecond) {
+			retry = float64(time.Millisecond)
+		}
+		d.RetryAfter = time.Duration(retry)
+	}
+	return d, flipped
+}
+
+// Shedding reports the gate's current state.
+func (g *AdmissionGate) Shedding() bool { return g.shedding }
+
+// Sheds returns the number of shed decisions issued.
+func (g *AdmissionGate) Sheds() int64 { return g.sheds }
+
+// Flips returns the number of admit↔shed state transitions.
+func (g *AdmissionGate) Flips() int64 { return g.flips }
+
+// AIMD is the adaptive MaxBatch controller for one cell type: additive
+// increase while queuing dominates the latency split (larger batches drain
+// the queue faster), multiplicative decrease when computation latency
+// breaches the SLA budget (the batch itself has become the bottleneck).
+// Shrink takes precedence — an overlong kernel hurts every queued request.
+type AIMD struct {
+	min, max int
+	cur      int
+	growStep int
+	shrink   float64
+	budgetNs int64
+	share    float64
+}
+
+// NewAIMD builds a controller bounded to [min, max], starting at max (the
+// statically configured ceiling — the controller only ever narrows it).
+func NewAIMD(cfg Config, min, max int) *AIMD {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &AIMD{
+		min:      min,
+		max:      max,
+		cur:      max,
+		growStep: cfg.GrowStep,
+		shrink:   cfg.ShrinkFactor,
+		budgetNs: int64(float64(cfg.SLA.Nanoseconds()) * cfg.ComputeBudget),
+		share:    cfg.QueueShare,
+	}
+}
+
+// Current returns the controller's present MaxBatch.
+func (a *AIMD) Current() int { return a.cur }
+
+// Update applies one control step to the latest P95 latency split and
+// returns the (possibly unchanged) MaxBatch plus whether it moved.
+func (a *AIMD) Update(queuingP95, computationP95 time.Duration) (int, bool) {
+	prev := a.cur
+	switch {
+	case computationP95.Nanoseconds() > a.budgetNs:
+		next := int(float64(a.cur) * a.shrink)
+		if next < a.min {
+			next = a.min
+		}
+		a.cur = next
+	case queuingP95+computationP95 > 0 &&
+		float64(queuingP95) > a.share*float64(queuingP95+computationP95):
+		next := a.cur + a.growStep
+		if next > a.max {
+			next = a.max
+		}
+		a.cur = next
+	}
+	return a.cur, a.cur != prev
+}

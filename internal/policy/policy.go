@@ -1,0 +1,181 @@
+// Package policy is the SLA-aware control layer that closes the loop the
+// paper leaves open: cellular batching (GaoYWL18) fixes MaxBatch and
+// admission limits statically, but under bursty open-loop load the latency
+// win evaporates once queues spiral. This package consumes the live latency
+// split and queue-depth signals the observability layer already measures and
+// feeds three decisions back into the engine:
+//
+//  1. Little's-law admission — estimate the expected queue wait from ready
+//     depth and recent service throughput and shed (ErrOverloaded + a
+//     retry-after hint) before the queue grows past the SLA, with a
+//     hysteresis band so the gate does not flap.
+//  2. Adaptive per-cell-type MaxBatch — AIMD over the queuing/computation
+//     latency split: grow the batch ceiling while queuing dominates, shrink
+//     multiplicatively when computation latency exceeds the SLA budget.
+//  3. Deadline-aware EDF ordering — implemented in core.Scheduler's ready
+//     queues; this package only decides the deadlines' admission context.
+//
+// Every controller is a pure function of its explicit inputs (timestamps are
+// passed in, never read from the clock), so the same decision sequence
+// replays byte-identically in the virtual-time simulator.
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode selects which controllers are active.
+type Mode int
+
+const (
+	// ModeOff disables the policy layer entirely.
+	ModeOff Mode = iota
+	// ModeAdmission enables only the Little's-law admission gate.
+	ModeAdmission
+	// ModeAdaptive enables only the adaptive MaxBatch controller.
+	ModeAdaptive
+	// ModeFull enables both.
+	ModeFull
+)
+
+// ParseMode parses the -policy flag values: off, admission, adaptive, full.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return ModeOff, nil
+	case "admission":
+		return ModeAdmission, nil
+	case "adaptive":
+		return ModeAdaptive, nil
+	case "full":
+		return ModeFull, nil
+	}
+	return ModeOff, fmt.Errorf("policy: unknown mode %q (want off, admission, adaptive, or full)", s)
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAdmission:
+		return "admission"
+	case ModeAdaptive:
+		return "adaptive"
+	case ModeFull:
+		return "full"
+	}
+	return "off"
+}
+
+// admission reports whether the admission gate runs in this mode.
+func (m Mode) admission() bool { return m == ModeAdmission || m == ModeFull }
+
+// adaptive reports whether the MaxBatch controller runs in this mode.
+func (m Mode) adaptive() bool { return m == ModeAdaptive || m == ModeFull }
+
+// Config parameterizes the controllers. The zero value (ModeOff) is a valid
+// disabled configuration; every other knob has a sensible default applied by
+// withDefaults, so callers normally set only Mode and SLA.
+type Config struct {
+	Mode Mode
+	// SLA is the end-to-end latency target a request should meet. Required
+	// (> 0) whenever Mode is not off; every threshold below is relative to
+	// it.
+	SLA time.Duration
+
+	// HighRatio: the gate starts shedding when the estimated queue wait
+	// exceeds SLA×HighRatio (default 1.0).
+	HighRatio float64
+	// LowRatio: the gate stops shedding when the estimate falls below
+	// SLA×LowRatio (default 0.7). The gap is the hysteresis band.
+	LowRatio float64
+	// MinQueue: the gate never sheds while fewer cells than this are
+	// queued, so a cold start or an idle→burst edge (when the throughput
+	// estimate has decayed toward zero) cannot trigger spurious rejects
+	// (default 16).
+	MinQueue int
+	// RateHalfLife is the half-life of the service-throughput EWMA
+	// (default 250ms).
+	RateHalfLife time.Duration
+
+	// QueueShare: grow MaxBatch when queuing accounts for more than this
+	// share of the P95 end-to-end split (default 0.5).
+	QueueShare float64
+	// ComputeBudget: shrink MaxBatch when the P95 computation latency
+	// exceeds SLA×ComputeBudget (default 0.5).
+	ComputeBudget float64
+	// GrowStep is the additive MaxBatch increase (default 2).
+	GrowStep int
+	// ShrinkFactor is the multiplicative MaxBatch decrease (default 0.5).
+	ShrinkFactor float64
+	// Interval is the minimum spacing between AIMD control steps
+	// (default 50ms), so one batch of completions moves MaxBatch once.
+	Interval time.Duration
+	// WindowSize is the capacity of the controller's latency-split sample
+	// windows (default 256).
+	WindowSize int
+
+	// RecordTrace keeps a human-readable decision trace (gate flips, shed
+	// points, MaxBatch moves) for the deterministic policy tests. Off in
+	// production: the trace grows without bound.
+	RecordTrace bool
+}
+
+// Enabled reports whether this configuration activates any controller.
+func (c Config) Enabled() bool { return c.Mode != ModeOff && c.SLA > 0 }
+
+// Validate rejects configurations that enable a mode without an SLA.
+func (c Config) Validate() error {
+	if c.Mode != ModeOff && c.SLA <= 0 {
+		return fmt.Errorf("policy: mode %v requires a positive SLA", c.Mode)
+	}
+	if c.LowRatio != 0 && c.HighRatio != 0 && c.LowRatio > c.HighRatio {
+		return fmt.Errorf("policy: LowRatio %v exceeds HighRatio %v", c.LowRatio, c.HighRatio)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.HighRatio <= 0 {
+		c.HighRatio = 1.0
+	}
+	if c.LowRatio <= 0 {
+		c.LowRatio = 0.7
+	}
+	if c.MinQueue <= 0 {
+		c.MinQueue = 16
+	}
+	if c.RateHalfLife <= 0 {
+		c.RateHalfLife = 250 * time.Millisecond
+	}
+	if c.QueueShare <= 0 {
+		c.QueueShare = 0.5
+	}
+	if c.ComputeBudget <= 0 {
+		c.ComputeBudget = 0.5
+	}
+	if c.GrowStep <= 0 {
+		c.GrowStep = 2
+	}
+	if c.ShrinkFactor <= 0 || c.ShrinkFactor >= 1 {
+		c.ShrinkFactor = 0.5
+	}
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 256
+	}
+	return c
+}
+
+// Decision is the admission gate's verdict for one request.
+type Decision struct {
+	// Admit is false when the request should be shed.
+	Admit bool
+	// EstWait is the Little's-law estimate of the queue wait the request
+	// would see if admitted.
+	EstWait time.Duration
+	// RetryAfter, set on shed decisions, estimates how long the client
+	// should back off before the gate is likely to admit again.
+	RetryAfter time.Duration
+}

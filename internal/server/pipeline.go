@@ -164,6 +164,22 @@ func (rp *rpState) admit(cmd admitCmd) error {
 		rp.reject()
 		return fmt.Errorf("%w: %d cells queued, request adds %d (max %d)", ErrOverloaded, rp.queuedCells, r.cells, n)
 	}
+	if p := s.policy; p != nil {
+		// Little's-law gate: shed before the queue spirals past the SLA,
+		// ahead of (and more conservative than) the static bounds above.
+		if d := p.Admit(time.Now().UnixNano(), rp.queuedCells); !d.Admit {
+			rp.reject()
+			return &OverloadError{EstWait: d.EstWait, RetryAfter: d.RetryAfter}
+		}
+	}
+	if !r.deadline.IsZero() {
+		// Stamp the SLA expiry onto the specs so the scheduler's EDF ready
+		// queues order this request's cells by urgency within their type.
+		dl := r.deadline.UnixNano()
+		for i := range cmd.specs {
+			cmd.specs[i].Deadline = dl
+		}
+	}
 	r.admittedNs = time.Now().UnixNano()
 	rp.reqs[r.id] = r
 	s.liveMu.Lock()
@@ -294,6 +310,12 @@ func (rp *rpState) complete(rec completion) {
 		s.statsMu.Unlock()
 		s.obs.gauges(len(rp.reqs), rp.queuedCells)
 		if len(released) > 0 {
+			if !r.deadline.IsZero() {
+				dl := r.deadline.UnixNano()
+				for i := range released {
+					released[i].Deadline = dl
+				}
+			}
 			if err := rp.addSubgraphs(r.id, released); err != nil {
 				rp.fail(r, err)
 				continue
@@ -309,8 +331,23 @@ func (rp *rpState) complete(rec completion) {
 			s.outcomes.Completed++
 			s.trace.add(Event{At: time.Now(), Kind: EventComplete, Req: r.id})
 			s.statsMu.Unlock()
-			s.obs.terminal(r, obsv.KindComplete, time.Now().UnixNano())
+			nowNs := time.Now().UnixNano()
+			s.obs.terminal(r, obsv.KindComplete, nowNs)
 			s.jterminal(r.id, journal.OutcomeCompleted, "")
+			if p := s.policy; p != nil {
+				// Feed the finished request's latency split back into the
+				// controllers; forward any MaxBatch moves to the scheduler
+				// loop, which owns the core.Scheduler.
+				fe := r.firstExecNs.Load()
+				if fe == 0 {
+					fe = nowNs
+				}
+				moves := p.Completed(nowNs, r.cells,
+					time.Duration(fe-r.admittedNs), time.Duration(nowNs-fe))
+				for _, mv := range moves {
+					s.slCmds <- slCmd{kind: slSetMaxBatch, typeKey: mv.Key, batch: mv.MaxBatch}
+				}
+			}
 			rp.resolve(r, nil)
 		}
 	}

@@ -25,17 +25,22 @@ const (
 	slStop
 	// slSetFault installs the admission fault seam (test hook).
 	slSetFault
+	// slSetMaxBatch applies one adaptive-policy MaxBatch actuation to a
+	// cell type (clamped by the scheduler to [MinBatch, configured max]).
+	slSetMaxBatch
 )
 
 // slCmd is one message to the scheduler loop.
 type slCmd struct {
-	kind   slCmdKind
-	req    core.RequestID
-	specs  []core.SubgraphSpec
-	task   core.TaskID
-	worker int
-	fault  func(core.SubgraphSpec) error
-	reply  chan error
+	kind    slCmdKind
+	req     core.RequestID
+	specs   []core.SubgraphSpec
+	task    core.TaskID
+	worker  int
+	fault   func(core.SubgraphSpec) error
+	typeKey string
+	batch   int
+	reply   chan error
 }
 
 // schedulerLoop is the single goroutine that owns the core.Scheduler. It
@@ -162,6 +167,8 @@ func (s *Server) schedulerLoop(sched *core.Scheduler, mts, depth int) {
 		case slSetFault:
 			admitFault = cmd.fault
 			faultReplies = append(faultReplies, cmd.reply)
+		case slSetMaxBatch:
+			sched.SetMaxBatch(cmd.typeKey, cmd.batch)
 		}
 	}
 

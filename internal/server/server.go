@@ -57,6 +57,8 @@ import (
 	"batchmaker/internal/core"
 	"batchmaker/internal/journal"
 	"batchmaker/internal/metrics"
+	"batchmaker/internal/obsv"
+	"batchmaker/internal/policy"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/tensor"
 )
@@ -94,6 +96,23 @@ var (
 	// ErrCellPanic wraps a cell panic recovered by a worker.
 	ErrCellPanic = errors.New("server: cell panicked")
 )
+
+// OverloadError is the adaptive admission gate's shed rejection. It unwraps
+// to ErrOverloaded (so existing errors.Is checks keep working) and carries
+// the Little's-law wait estimate behind the decision plus a retry-after hint
+// clients can honor instead of hammering a saturated server.
+type OverloadError struct {
+	// EstWait is the estimated queue wait the request would have seen.
+	EstWait time.Duration
+	// RetryAfter estimates how long until the gate is likely to admit again.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded: estimated queue wait %v, retry after %v", e.EstWait, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // CellSpec registers one cell type with the server.
 type CellSpec struct {
@@ -158,6 +177,12 @@ type Config struct {
 	// MaxQueuedRequests (one 3000-cell chain loads the server like
 	// hundreds of small requests).
 	MaxQueuedCells int
+	// Policy configures the SLA-aware control layer (internal/policy):
+	// Little's-law admission shedding ahead of the static bounds above and
+	// adaptive per-cell-type MaxBatch. The zero value disables it. When
+	// enabled, shed rejections are *OverloadError values (unwrapping to
+	// ErrOverloaded) carrying a retry-after hint.
+	Policy policy.Config
 
 	// Faults, when non-nil, is consulted before every task execution
 	// attempt — the chaos hook used to test recovery paths.
@@ -297,6 +322,11 @@ type Server struct {
 	// draining mirrors the request processor's drain state for Health.
 	obs      *serverObs
 	draining atomic.Bool
+	// policy is the adaptive control layer (nil when Config.Policy is off).
+	// Touched only by the request-processor goroutine, so it needs no lock;
+	// its MaxBatch actuations travel to the scheduler loop as slSetMaxBatch
+	// commands.
+	policy *policy.Controller
 
 	// live is the worker-visible request lookup. The request processor is
 	// the only writer (under liveMu); workers read under RLock.
@@ -348,6 +378,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if len(cfg.Cells) == 0 {
 		return nil, fmt.Errorf("server: no cells registered")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
 	}
 	types := make([]core.TypeConfig, 0, len(cfg.Cells))
 	cells := make(map[string]rnn.Cell, len(cfg.Cells))
@@ -444,6 +477,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.FirstRequestID > 0 {
 		s.nextID.Store(int64(cfg.FirstRequestID))
+	}
+	if cfg.Policy.Enabled() {
+		bounds := make([]policy.TypeBounds, 0, len(types))
+		for _, tc := range types {
+			min := tc.MinBatch
+			if min < 1 {
+				min = 1
+			}
+			bounds = append(bounds, policy.TypeBounds{Key: tc.Key, Min: min, Max: tc.MaxBatch})
+		}
+		var pm *obsv.PolicyMetrics
+		if s.obs != nil {
+			pm = obsv.NewPolicyMetrics(s.obs.sm.Registry())
+		}
+		s.policy = policy.New(cfg.Policy, bounds, pm)
 	}
 	if s.obs != nil {
 		// Refresh the trace ring's drop-oldest counter at exposition time.

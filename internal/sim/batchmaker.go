@@ -9,6 +9,7 @@ import (
 	"batchmaker/internal/device"
 	"batchmaker/internal/metrics"
 	"batchmaker/internal/obsv"
+	"batchmaker/internal/policy"
 )
 
 // BatchMakerConfig configures the cellular-batching serving simulation
@@ -40,6 +41,18 @@ type BatchMakerConfig struct {
 	// be scraped or summarized exactly like a real one. Nil disables the
 	// hook.
 	Metrics *obsv.ServingMetrics
+	// Policy, when set, mirrors the live server's adaptive control layer in
+	// virtual time: the Little's-law gate sheds arrivals (counted in the
+	// result extras, never admitted) and AIMD MaxBatch moves are applied to
+	// the scheduler directly. The controller is caller-owned so a test can
+	// read its decision trace after the run; timestamps fed to it are
+	// virtual nanoseconds, making every decision replayable.
+	Policy *policy.Controller
+	// Deadline, when positive, gives each request an SLA expiry of
+	// arrival+Deadline. The sim never expires requests — the deadline
+	// drives the scheduler's EDF ordering and the deadline-miss count in
+	// the result extras.
+	Deadline time.Duration
 }
 
 // DefaultStateBytes is h+c at hidden 1024, float32.
@@ -52,7 +65,9 @@ const DefaultWeightBytes = 32 << 20
 type bmRequest struct {
 	id        core.RequestID
 	tracker   *core.Tracker
+	cells     int
 	arrival   time.Duration
+	deadline  time.Duration // 0 = none
 	firstExec time.Duration
 	hasExec   bool
 }
@@ -71,6 +86,11 @@ type batchMakerSim struct {
 	nextID   core.RequestID
 	col      *collector
 	admitted int
+	// queuedCells is the admitted not-yet-executed cell backlog — the
+	// admission gate's Little's-law queue depth.
+	queuedCells int
+	sheds       int
+	misses      int
 	// obsTypes caches per-cell-type metric handles plus the type's batch
 	// capacity (for slot accounting); nil when cfg.Metrics is nil.
 	obsTypes map[string]*bmObsType
@@ -149,14 +169,35 @@ func RunBatchMaker(cfg BatchMakerConfig, wl Workload, run RunConfig) (*metrics.R
 		}
 	}
 	arrivals := dataset.NewPoisson(run.Seed, run.RatePerSec)
-	s.scheduleArrival(arrivals, time.Duration(arrivals.NextGapNanos()))
+	s.scheduleArrival(arrivals, s.nextArrival(arrivals, 0))
 	for s.eng.Step() {
 	}
 	// Drain check: every admitted request must have completed.
 	if len(s.reqs) != 0 {
 		return nil, fmt.Errorf("sim: %d requests never completed", len(s.reqs))
 	}
+	if cfg.Policy != nil {
+		s.col.res.AddExtra("policy_sheds", float64(s.sheds))
+	}
+	if cfg.Deadline > 0 {
+		s.col.res.AddExtra("deadline_misses", float64(s.misses))
+	}
 	return s.col.result(), nil
+}
+
+// nextArrival advances from virtual time t by the Poisson stream's next gap,
+// compressed or stretched by the run's burst profile. A quiet phase
+// (RateScale <= 0) fast-forwards to its end without consuming a gap.
+func (s *batchMakerSim) nextArrival(p *dataset.Poisson, t time.Duration) time.Duration {
+	for {
+		if scale := s.run.rateScale(t); scale > 0 {
+			return t + time.Duration(float64(p.NextGapNanos())/scale)
+		}
+		t = s.run.phaseEnd(t)
+		if t > s.run.end() {
+			return t
+		}
+	}
 }
 
 func (s *batchMakerSim) scheduleArrival(p *dataset.Poisson, at time.Duration) {
@@ -168,12 +209,23 @@ func (s *batchMakerSim) scheduleArrival(p *dataset.Poisson, at time.Duration) {
 	}
 	s.eng.At(at, func() {
 		s.admit()
-		s.scheduleArrival(p, s.eng.Now()+time.Duration(p.NextGapNanos()))
+		s.scheduleArrival(p, s.nextArrival(p, s.eng.Now()))
 	})
 }
 
 func (s *batchMakerSim) admit() {
+	// Sample the shape before the gate so the workload stream stays aligned
+	// between policy-on and policy-off arms of the same seed.
 	shape := s.wl.Next()
+	if p := s.cfg.Policy; p != nil {
+		if d := p.Admit(int64(s.eng.Now()), s.queuedCells); !d.Admit {
+			s.sheds++
+			if m := s.cfg.Metrics; m != nil {
+				m.Rejected.Inc()
+			}
+			return
+		}
+	}
 	g, err := s.cfg.Model.BuildGraph(shape)
 	if err != nil {
 		panic(fmt.Sprintf("sim: building request graph: %v", err))
@@ -184,14 +236,19 @@ func (s *batchMakerSim) admit() {
 	if err != nil {
 		panic(fmt.Sprintf("sim: tracker: %v", err))
 	}
-	req := &bmRequest{id: id, tracker: tr, arrival: s.eng.Now()}
+	req := &bmRequest{id: id, tracker: tr, cells: len(g.Nodes), arrival: s.eng.Now()}
+	if s.cfg.Deadline > 0 {
+		req.deadline = req.arrival + s.cfg.Deadline
+	}
 	s.reqs[id] = req
 	s.admitted++
+	s.queuedCells += req.cells
 	if m := s.cfg.Metrics; m != nil {
 		m.Admitted.Inc()
 		m.Inflight.Set(int64(len(s.reqs)))
 	}
 	for _, spec := range tr.InitialSubgraphs() {
+		spec.Deadline = int64(req.deadline)
 		if _, err := s.sched.AddSubgraph(spec); err != nil {
 			panic(fmt.Sprintf("sim: add subgraph: %v", err))
 		}
@@ -297,7 +354,9 @@ func (s *batchMakerSim) onTaskDone(w core.WorkerID, task *core.Task, end time.Du
 		if err != nil {
 			panic(fmt.Sprintf("sim: node done: %v", err))
 		}
+		s.queuedCells--
 		for _, spec := range released {
+			spec.Deadline = int64(req.deadline)
 			if _, err := s.sched.AddSubgraph(spec); err != nil {
 				panic(fmt.Sprintf("sim: add released subgraph: %v", err))
 			}
@@ -307,10 +366,20 @@ func (s *batchMakerSim) onTaskDone(w core.WorkerID, task *core.Task, end time.Du
 			// finishes (notification already included in the event time).
 			s.col.record(req.arrival, req.firstExec, end)
 			delete(s.reqs, ref.Req)
+			if req.deadline > 0 && end > req.deadline {
+				s.misses++
+			}
 			if m := s.cfg.Metrics; m != nil {
 				m.Completed.Inc()
 				m.Inflight.Set(int64(len(s.reqs)))
 				m.ObserveLatencySplit(req.firstExec-req.arrival, end-req.firstExec)
+			}
+			if p := s.cfg.Policy; p != nil {
+				moves := p.Completed(int64(end), req.cells,
+					req.firstExec-req.arrival, end-req.firstExec)
+				for _, mv := range moves {
+					s.sched.SetMaxBatch(mv.Key, mv.MaxBatch)
+				}
 			}
 		}
 	}

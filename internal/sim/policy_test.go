@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"batchmaker/internal/policy"
+)
+
+// policyBurstRun drives one virtual-time BatchMaker run under the scripted
+// burst profile (Poisson → 8× spike → quiet) with the full policy stack on,
+// returning the controller's decision trace and the run extras.
+func policyBurstRun(t *testing.T, seed uint64) ([]string, map[string]float64) {
+	t.Helper()
+	// ComputeBudget 0.2 (5ms of the 25ms SLA): the fixed 24-step chains
+	// spend ~6ms in computation under load, so the spike forces AIMD
+	// shrink/grow traffic and the trace records a MaxBatch trajectory.
+	ctl := policy.New(
+		policy.Config{Mode: policy.ModeFull, SLA: 25 * time.Millisecond,
+			ComputeBudget: 0.2, RecordTrace: true},
+		[]policy.TypeBounds{{Key: TypeLSTM, Min: 1, Max: 64}}, nil)
+	cfg := defaultBMConfig(NewLSTMModel(64, 1), 1)
+	cfg.Policy = ctl
+	cfg.Deadline = 25 * time.Millisecond
+	wl := &FixedWorkload{Shape: Shape{Kind: KindChain, Len: 24}}
+	run := RunConfig{
+		RatePerSec: 2_000,
+		Duration:   450 * time.Millisecond,
+		Seed:       seed,
+		Phases: []RatePhase{
+			{Until: 150 * time.Millisecond, RateScale: 1}, // steady Poisson
+			{Until: 300 * time.Millisecond, RateScale: 8}, // overload spike
+			{Until: 450 * time.Millisecond, RateScale: 0}, // quiet: drain
+		},
+	}
+	res, err := RunBatchMaker(cfg, wl, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl.TraceLines(), res.Extra
+}
+
+// TestPolicyBurstTraceDeterministic is the policy determinism harness: two
+// same-seed virtual-time runs of the scripted burst must produce
+// byte-identical decision traces (shed points, gate flips, MaxBatch
+// trajectory) and identical shed/miss counts — the conformance idiom applied
+// to the control loop.
+func TestPolicyBurstTraceDeterministic(t *testing.T) {
+	trace1, extra1 := policyBurstRun(t, 11)
+	trace2, extra2 := policyBurstRun(t, 11)
+	j1, j2 := strings.Join(trace1, "\n"), strings.Join(trace2, "\n")
+	if j1 != j2 {
+		t.Fatalf("same-seed runs diverged:\nrun1:\n%s\nrun2:\n%s", j1, j2)
+	}
+	for _, k := range []string{"policy_sheds", "deadline_misses"} {
+		if extra1[k] != extra2[k] {
+			t.Fatalf("extra %q diverged: %v vs %v", k, extra1[k], extra2[k])
+		}
+	}
+	// The spike must actually exercise the controllers: the gate sheds and
+	// the AIMD moves MaxBatch at least once.
+	if extra1["policy_sheds"] == 0 {
+		t.Fatalf("spike shed nothing; trace:\n%s", j1)
+	}
+	var sawBatch bool
+	for _, l := range trace1 {
+		if strings.HasPrefix(l, "batch ") {
+			sawBatch = true
+			break
+		}
+	}
+	if !sawBatch {
+		t.Fatalf("no MaxBatch trajectory in trace:\n%s", j1)
+	}
+	// A different seed must change the decision sequence (the trace is a
+	// function of the arrival stream, not a constant).
+	trace3, _ := policyBurstRun(t, 12)
+	if j1 == strings.Join(trace3, "\n") {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestPolicyBurstShedsReduceMisses compares the same burst with and without
+// the policy stack: the policy arm must shed some arrivals and in exchange
+// miss fewer deadlines among the requests it serves.
+func TestPolicyBurstShedsReduceMisses(t *testing.T) {
+	arm := func(on bool) map[string]float64 {
+		cfg := defaultBMConfig(NewLSTMModel(64, 1), 1)
+		cfg.Deadline = 25 * time.Millisecond
+		if on {
+			cfg.Policy = policy.New(
+				policy.Config{Mode: policy.ModeFull, SLA: 25 * time.Millisecond},
+				[]policy.TypeBounds{{Key: TypeLSTM, Min: 1, Max: 64}}, nil)
+		}
+		wl := &FixedWorkload{Shape: Shape{Kind: KindChain, Len: 24}}
+		run := RunConfig{
+			RatePerSec: 2_000,
+			Duration:   450 * time.Millisecond,
+			Seed:       21,
+			Phases: []RatePhase{
+				{Until: 150 * time.Millisecond, RateScale: 1},
+				{Until: 300 * time.Millisecond, RateScale: 8},
+				{Until: 450 * time.Millisecond, RateScale: 0},
+			},
+		}
+		res, err := RunBatchMaker(cfg, wl, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Extra
+	}
+	static := arm(false)
+	adaptive := arm(true)
+	if adaptive["policy_sheds"] == 0 {
+		t.Fatal("policy arm shed nothing under the spike")
+	}
+	if adaptive["deadline_misses"] >= static["deadline_misses"] {
+		t.Fatalf("policy arm missed %v deadlines, static arm %v — shedding should protect admitted requests",
+			adaptive["deadline_misses"], static["deadline_misses"])
+	}
+}

@@ -40,6 +40,18 @@ type FixedWorkload struct{ Shape Shape }
 // Next implements Workload.
 func (w *FixedWorkload) Next() Shape { return w.Shape }
 
+// RatePhase scales the base arrival rate over one span of virtual time, so
+// a run can script a burst profile (Poisson→spike→quiet) instead of a flat
+// rate. Phases are consulted in order; virtual time past the last phase
+// reverts to scale 1.
+type RatePhase struct {
+	// Until is the virtual instant (from run start) this phase ends.
+	Until time.Duration
+	// RateScale multiplies RatePerSec while the phase is active. Zero or
+	// negative means (effectively) no arrivals — a quiet phase.
+	RateScale float64
+}
+
 // RunConfig drives one load point of a serving experiment.
 type RunConfig struct {
 	// RatePerSec is the open-loop Poisson arrival rate.
@@ -53,6 +65,35 @@ type RunConfig struct {
 	Seed uint64
 	// MaxRequests caps total admissions as a safety valve (0 = unlimited).
 	MaxRequests int
+	// Phases, when non-empty, scripts a bursty arrival profile by scaling
+	// RatePerSec over time (see RatePhase). The underlying Poisson stream
+	// is one seeded source whose gaps are stretched or compressed, so the
+	// profile is deterministic per seed.
+	Phases []RatePhase
+}
+
+// rateScale returns the arrival-rate multiplier active at virtual time t.
+func (c RunConfig) rateScale(t time.Duration) float64 {
+	for _, p := range c.Phases {
+		if t < p.Until {
+			if p.RateScale <= 0 {
+				return 0
+			}
+			return p.RateScale
+		}
+	}
+	return 1
+}
+
+// phaseEnd returns when the phase active at t ends (the run's end when t is
+// past the scripted profile).
+func (c RunConfig) phaseEnd(t time.Duration) time.Duration {
+	for _, p := range c.Phases {
+		if t < p.Until {
+			return p.Until
+		}
+	}
+	return c.end()
 }
 
 // measuredWindow returns the virtual time at which admission stops.
