@@ -117,6 +117,9 @@ type appConfig struct {
 	JournalDir string
 	// JournalSync is the fsync policy: "none", "batch" (default), "always".
 	JournalSync string
+	// Precision is the execution tier of the model's cells: f32 (default,
+	// bit-stable) or int8 (calibrated quantized kernels, DESIGN.md §14).
+	Precision rnn.Precision
 }
 
 // parsePools turns the -pools flag ("2,2", "1,1,1,1") into workers-per-pool
@@ -158,8 +161,8 @@ func newApp(cfg appConfig) (*app, error) {
 	scfg := server.Config{
 		Workers: cfg.Workers,
 		Cells: []server.CellSpec{
-			{Cell: a.enc, MaxBatch: 64, Priority: 0},
-			{Cell: a.dec, MaxBatch: 32, Priority: 1},
+			{Cell: a.enc, MaxBatch: 64, Priority: 0, Precision: cfg.Precision},
+			{Cell: a.dec, MaxBatch: 32, Priority: 1, Precision: cfg.Precision},
 		},
 		MaxQueuedRequests: cfg.MaxQueue,
 	}
@@ -395,6 +398,7 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "per-request SLA; expired requests stop batching and answer code \"expired\" (0 = none)")
 		sla      = flag.Duration("sla", 0, "end-to-end latency target enabling the adaptive policy layer: Little's-law admission shedding (code \"overloaded\" + retry-after) and AIMD batch sizing, per -policy (0 = off)")
 		polMode  = flag.String("policy", "full", "adaptive policy controllers when -sla is set: off, admission (shed only), adaptive (batch sizing only), full (both)")
+		prec     = flag.String("precision", "f32", "execution tier of the model's step kernels: f32 (bit-stable float32) or int8 (calibrated quantized kernels, ~2x faster per cell)")
 		demo     = flag.Bool("demo", false, "drive the server with a built-in client and exit")
 		jdir     = flag.String("journal-dir", "", "durable request journal directory; admits are journaled before acknowledgement and unfinished requests replay on boot (empty = off)")
 		jsync    = flag.String("journal-sync", "batch", "journal fsync policy: none (process-crash safe), batch (group-commit fsync; default), always (fsync per record)")
@@ -425,13 +429,18 @@ func main() {
 
 	mode, err := policy.ParseMode(*polMode)
 	if err != nil {
-		log.Fatal(err)
+		fatalFlagValue("policy", err)
+	}
+
+	precision, err := rnn.ParsePrecision(*prec)
+	if err != nil {
+		fatalFlagValue("precision", err)
 	}
 
 	a, err := newApp(appConfig{
 		Vocab: *vocab, Embed: *embed, Hidden: *hidden,
 		Workers: *workers, Pools: poolSizes, MaxQueue: *maxQueue, Deadline: *deadline,
-		SLA: *sla, PolicyMode: mode,
+		SLA: *sla, PolicyMode: mode, Precision: precision,
 		JournalDir: *jdir, JournalSync: *jsync,
 	})
 	if err != nil {
@@ -447,7 +456,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	log.Printf("batchmaker serving Seq2Seq (vocab=%d hidden=%d) on %s", *vocab, *hidden, ln.Addr())
+	log.Printf("batchmaker serving Seq2Seq (vocab=%d hidden=%d precision=%s) on %s", *vocab, *hidden, precision, ln.Addr())
 
 	if *metrics != "" {
 		mln, err := net.Listen("tcp", *metrics)
@@ -501,6 +510,17 @@ func main() {
 		st.DispatchRounds, st.DispatchP50, st.DispatchP99)
 	fmt.Printf("hot path: %v/cell, %.1f process allocs/task\n",
 		st.NsPerCell, st.ProcessAllocsPerTask)
+}
+
+// fatalFlagValue rejects an invalid flag value with a structured error
+// plus the flag's own usage text as a hint, and exits with the flag
+// package's conventional status 2 — never silently defaulting.
+func fatalFlagValue(name string, err error) {
+	fmt.Fprintf(os.Stderr, "batchmaker: invalid -%s value: %v\n", name, err)
+	if f := flag.Lookup(name); f != nil {
+		fmt.Fprintf(os.Stderr, "usage of -%s: %s (default %q)\n", name, f.Usage, f.DefValue)
+	}
+	os.Exit(2)
 }
 
 // writeMemProfile captures a heap profile after a forced GC, so the profile

@@ -337,6 +337,30 @@ func TestLiveJournaledEngineConverges(t *testing.T) {
 	}
 }
 
+// TestQuantMeasurementRuns is the correctness smoke for the quantization
+// benchmark: a short paired run must produce positive timings for both
+// tiers and drift inside the rnn package's accuracy gates. The speedup
+// floor itself is gated on the recorded report by TestBenchGuard via
+// CheckQuantSpeedup.
+func TestQuantMeasurementRuns(t *testing.T) {
+	rs, err := MeasureQuantization(QuantOptions{Steps: 32, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("measured %d cells, want lstm and gru", len(rs))
+	}
+	for _, r := range rs {
+		if r.F32NsPerStep <= 0 || r.Int8NsPerStep <= 0 {
+			t.Fatalf("%s: non-positive timing (f32=%.0f int8=%.0f)", r.Cell, r.F32NsPerStep, r.Int8NsPerStep)
+		}
+		if r.MaxAbsErr > ciQuantMaxAbsErr || r.MinCosine < ciQuantMinCosine {
+			t.Fatalf("%s: drift out of gate (maxAbsErr=%.4f minCos=%.5f)", r.Cell, r.MaxAbsErr, r.MinCosine)
+		}
+		t.Logf("%s: f32 %.0f ns/step, int8 %.0f ns/step (%.2fx)", r.Cell, r.F32NsPerStep, r.Int8NsPerStep, r.Speedup)
+	}
+}
+
 // TestRecordLiveBench regenerates BENCH_server.json at the repo root with
 // one config entry per GOMAXPROCS setting: serial (1) and NumCPU. On a
 // single-CPU machine the two entries are independent runs of the same
@@ -391,6 +415,19 @@ func TestRecordLiveBench(t *testing.T) {
 		t.Fatalf("median policy pair regressed deadline misses (%d policy vs %d static) — not recording a failing report",
 			pPolicy.DeadlineMisses, pStatic.DeadlineMisses)
 	}
+	t.Logf("=== quantized execution tier (GOMAXPROCS=%d) ===", prev)
+	qo := QuantOptions{Reps: pairs}.withDefaults()
+	qCells, err := MeasureQuantization(qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatQuantComparison(qCells))
+	for _, qc := range qCells {
+		if qc.Speedup < ciQuantSpeedupBudget {
+			t.Fatalf("%s int8 tier measured %.2fx against the %.1fx floor — not recording a failing report",
+				qc.Cell, qc.Speedup, ciQuantSpeedupBudget)
+		}
+	}
 	out := map[string]any{
 		"benchmark": "live-server-throughput",
 		"recorded":  time.Now().UTC().Format("2006-01-02"),
@@ -427,6 +464,10 @@ func TestRecordLiveBench(t *testing.T) {
 			"policy_deadline_misses": pPolicy.DeadlineMisses,
 			"policy_shed":            pPolicy.Shed,
 			"tail_ratio":             pRatio,
+		},
+		"quantization": map[string]any{
+			"options": qo,
+			"cells":   qCells,
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

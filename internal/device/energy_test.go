@@ -1,0 +1,110 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEnergyModelKneeSemantics(t *testing.T) {
+	e := EnergyModel{FixedNJ: 1000, PerRowNJ: 10, Knee: 64}
+	if got := e.Energy(1); got != 1010 {
+		t.Fatalf("Energy(1) = %v, want 1010", got)
+	}
+	if got := e.Energy(64); got != 1640 {
+		t.Fatalf("Energy(64) = %v, want 1640", got)
+	}
+	// Beyond the knee, energy doubles as the batch doubles.
+	if got, want := e.Energy(128), 2*1640.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Energy(128) = %v, want %v", got, want)
+	}
+	// Per-cell energy improves with batching in the affine regime.
+	if e.EnergyPerCell(64) >= e.EnergyPerCell(1) {
+		t.Fatalf("batching should amortize FixedNJ: per-cell %v at b=64 vs %v at b=1",
+			e.EnergyPerCell(64), e.EnergyPerCell(1))
+	}
+}
+
+func TestEnergyFromPowerMatchesCurveTime(t *testing.T) {
+	c := LSTMGPUCurve()
+	e := EnergyFromPower(c, DefaultBoardPowerW)
+	for _, b := range []int{1, 64, 512, 1024} {
+		wantNJ := DefaultBoardPowerW * float64(c.Time(b).Nanoseconds())
+		if got := e.Energy(b); math.Abs(got-wantNJ)/wantNJ > 1e-6 {
+			t.Fatalf("b=%d: Energy=%v, want power·time=%v", b, got, wantNJ)
+		}
+	}
+}
+
+func TestCurveScaled(t *testing.T) {
+	c := LSTMGPUCurve()
+	s := c.Scaled(2.0)
+	if s.Knee != c.Knee {
+		t.Fatalf("Scaled must preserve the knee: got %d want %d", s.Knee, c.Knee)
+	}
+	for _, b := range []int{1, 64, 512, 2048} {
+		ratio := float64(c.Time(b)) / float64(s.Time(b))
+		if math.Abs(ratio-2.0) > 0.01 {
+			t.Fatalf("b=%d: time ratio %v, want ~2.0", b, ratio)
+		}
+	}
+}
+
+func TestDeriveQuantTier(t *testing.T) {
+	m := NewCostModel()
+	m.SetCurve("lstm", LSTMGPUCurve())
+
+	const speedup = 2.13 // measured LSTM StepInto f32/int8 ratio on this box
+	if err := m.DeriveQuantTier("lstm", "lstm+int8", speedup, Int8PowerRatio); err != nil {
+		t.Fatalf("DeriveQuantTier: %v", err)
+	}
+
+	// Latency scales down by the speedup at every batch size.
+	for _, b := range []int{1, 64, 512} {
+		f32 := m.KernelTime("lstm", b)
+		i8 := m.KernelTime("lstm+int8", b)
+		ratio := float64(f32) / float64(i8)
+		if math.Abs(ratio-speedup) > 0.02 {
+			t.Fatalf("b=%d: latency ratio %v, want ~%v", b, ratio, speedup)
+		}
+		// Energy scales by powerRatio/speedup — the quantized tier is
+		// strictly cheaper in joules too.
+		eRatio := m.KernelEnergy("lstm+int8", b) / m.KernelEnergy("lstm", b)
+		want := Int8PowerRatio / speedup
+		if math.Abs(eRatio-want) > 0.01 {
+			t.Fatalf("b=%d: energy ratio %v, want ~%v", b, eRatio, want)
+		}
+	}
+
+	if err := m.DeriveQuantTier("nope", "nope+int8", 2, 1); err == nil {
+		t.Fatal("DeriveQuantTier on unknown base must error")
+	}
+	if err := m.DeriveQuantTier("lstm", "bad", -1, 1); err == nil {
+		t.Fatal("DeriveQuantTier with non-positive speedup must error")
+	}
+}
+
+func TestKernelEnergyFallbackAndExplicit(t *testing.T) {
+	m := NewCostModel()
+	c := Curve{Fixed: time.Microsecond, PerRow: 100 * time.Nanosecond, Knee: 8}
+	m.SetCurve("x", c)
+
+	// No explicit model → power-derived fallback.
+	want := EnergyFromPower(c, DefaultBoardPowerW).Energy(4)
+	if got := m.KernelEnergy("x", 4); got != want {
+		t.Fatalf("fallback energy %v, want %v", got, want)
+	}
+
+	// Explicit model wins.
+	m.SetEnergy("x", EnergyModel{FixedNJ: 7, PerRowNJ: 1, Knee: 8})
+	if got := m.KernelEnergy("x", 4); got != 11 {
+		t.Fatalf("explicit energy %v, want 11", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KernelEnergy on unknown type must panic")
+		}
+	}()
+	m.KernelEnergy("unknown", 1)
+}

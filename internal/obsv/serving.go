@@ -31,6 +31,7 @@ const (
 	MetricTraceDropped        = "batchmaker_trace_events_dropped_total"
 	MetricSpanWritten         = "batchmaker_span_records_written"
 	MetricSpanDropped         = "batchmaker_span_records_dropped"
+	MetricCellPrecision       = "batchmaker_cell_precision"
 	MetricDeviceReadyDepth    = "batchmaker_device_ready_depth"
 	MetricDeviceCopies        = "batchmaker_device_copies_total"
 	MetricDevicePinMoves      = "batchmaker_device_pin_moves_total"
@@ -200,6 +201,18 @@ func (m *ServingMetrics) Type(key string) *TypeMetrics {
 	}
 	m.types[key] = t
 	return t
+}
+
+// SetTypePrecision publishes the execution tier of a cell type as an
+// info-style gauge: batchmaker_cell_precision{cell_type, precision} = 1.
+// Call once at setup; a nil receiver is a no-op.
+func (m *ServingMetrics) SetTypePrecision(key, precision string) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeVec(MetricCellPrecision,
+		"Execution precision tier of the cell type (info gauge, value 1).",
+		[]string{"cell_type", "precision"}, []string{key, precision}).Set(1)
 }
 
 // Worker returns (registering on first use) the per-worker handles.

@@ -5,6 +5,7 @@ import (
 
 	"batchmaker/internal/core"
 	"batchmaker/internal/obsv"
+	"batchmaker/internal/rnn"
 )
 
 // ObsConfig configures the server's observability layer (Config.Obs).
@@ -99,6 +100,11 @@ func newServerObs(cfg ObsConfig, specs []CellSpec, workers, devices int) *server
 			maxBatch: int64(cs.MaxBatch),
 			tm:       o.Metrics.Type(key),
 		}
+		prec := rnn.PrecisionF32
+		if pc, ok := cs.Cell.(rnn.PrecisionConfigurable); ok {
+			prec = pc.Precision()
+		}
+		o.Metrics.SetTypePrecision(key, prec.String())
 	}
 	return ob
 }

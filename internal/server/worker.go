@@ -209,7 +209,7 @@ func (s *Server) execTask(id int, task *core.Task, ws *workerExec) completion {
 	})
 	s.statsMu.Unlock()
 	s.obs.taskExec(id, task, len(refs),
-		4*int64(ws.arena.HighWater()), now.UnixNano()+int64(elapsed))
+		ws.arena.HighWaterBytes(), now.UnixNano()+int64(elapsed))
 
 	if stepErr != nil {
 		// Poison before the failure record is enqueued: successor tasks
