@@ -22,8 +22,11 @@
 //
 // Pass -metrics-addr to also serve an HTTP introspection endpoint:
 // /metrics (Prometheus text format), /debug/requests (recent request
-// timelines as JSONL), /healthz (drain/overload probe), and
-// /debug/pprof/*. See README.md "Monitoring".
+// timelines as JSONL), /debug/trace (causal Chrome/Perfetto trace-event
+// JSON), /healthz (drain/overload probe), and /debug/pprof/*. Pass
+// -trace-out to write the assembled trace to a file at shutdown, and
+// -incident-dir to arm the anomaly-triggered flight recorder. See
+// README.md "Monitoring".
 package main
 
 import (
@@ -117,6 +120,11 @@ type appConfig struct {
 	JournalDir string
 	// JournalSync is the fsync policy: "none", "batch" (default), "always".
 	JournalSync string
+	// IncidentDir, when set, arms the anomaly-triggered flight recorder:
+	// detector rules (SLA P99 breach, shed bursts, SLO burn, journal
+	// degradation, policy shedding, rebalance storms) dump self-contained
+	// diagnosis bundles into this spool directory.
+	IncidentDir string
 	// Precision is the execution tier of the model's cells: f32 (default,
 	// bit-stable) or int8 (calibrated quantized kernels, DESIGN.md §14).
 	Precision rnn.Precision
@@ -146,8 +154,11 @@ type app struct {
 	srv *server.Server
 	// jnl and jm are the durable request journal and its metric handles
 	// (nil when -journal-dir is unset).
-	jnl      *journal.Journal
-	jm       *obsv.JournalMetrics
+	jnl *journal.Journal
+	jm  *obsv.JournalMetrics
+	// fr is the anomaly-triggered flight recorder (nil when -incident-dir
+	// is unset).
+	fr       *obsv.FlightRecorder
 	deadline time.Duration
 }
 
@@ -168,11 +179,19 @@ func newApp(cfg appConfig) (*app, error) {
 	}
 	if cfg.SLA > 0 {
 		scfg.Policy = policy.Config{Mode: cfg.PolicyMode, SLA: cfg.SLA}
+		// The SLA doubles as the SLO latency target: completions slower
+		// than it burn error budget (batchmaker_slo_* families).
+		scfg.Obs.SLOTarget = cfg.SLA
 	}
 	for _, n := range cfg.Pools {
 		scfg.Devices = append(scfg.Devices, server.DeviceConfig{Workers: n})
 	}
 	var pending []journal.PendingRequest
+	// The journal's flush and sync loops start before the server's observer
+	// exists, so their span rings are created standalone here and adopted by
+	// the observer after server.New — trace assembly then renders them as the
+	// journal-writer and journal-syncer tracks.
+	var jWriterRing, jSyncerRing *obsv.Ring
 	if cfg.JournalDir != "" {
 		sync, err := journal.ParseSyncPolicy(cfg.JournalSync)
 		if err != nil {
@@ -192,7 +211,12 @@ func newApp(cfg appConfig) (*app, error) {
 		reg := obsv.NewRegistry()
 		a.jm = obsv.NewJournalMetrics(reg)
 		a.jm.Replayed.Add(int64(rec.Records))
-		a.jnl, err = journal.Open(journal.Options{Dir: cfg.JournalDir, Sync: sync, Metrics: a.jm})
+		jWriterRing = obsv.NewRing("journal-writer", 0)
+		jSyncerRing = obsv.NewRing("journal-syncer", 0)
+		a.jnl, err = journal.Open(journal.Options{
+			Dir: cfg.JournalDir, Sync: sync, Metrics: a.jm,
+			WriterRing: jWriterRing, SyncerRing: jSyncerRing,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -209,6 +233,24 @@ func newApp(cfg appConfig) (*app, error) {
 		return nil, err
 	}
 	a.srv = srv
+	srv.Observer().AdoptRing(jWriterRing)
+	srv.Observer().AdoptRing(jSyncerRing)
+	if cfg.IncidentDir != "" {
+		fr, err := obsv.NewFlightRecorder(srv.Observer(), obsv.FlightRecorderConfig{
+			Dir:    cfg.IncidentDir,
+			SLA:    cfg.SLA,
+			Health: a.health,
+			SLO:    srv.SLO(),
+			Policy: srv.PolicyMetrics(),
+		})
+		if err != nil {
+			a.close()
+			return nil, err
+		}
+		a.fr = fr
+		fr.Run()
+		log.Printf("flight recorder armed; incident bundles spool to %s", cfg.IncidentDir)
+	}
 	if len(pending) > 0 {
 		a.replay(pending)
 	}
@@ -295,9 +337,12 @@ func (a *app) health() obsv.Health {
 	return h
 }
 
-// close stops the server (journaling terminals for everything live), then
-// flushes and closes the journal.
+// close stops the flight recorder and the server (journaling terminals for
+// everything live), then flushes and closes the journal.
 func (a *app) close() {
+	if a.fr != nil {
+		a.fr.Stop()
+	}
 	a.srv.Stop()
 	if a.jnl != nil {
 		a.jnl.Close()
@@ -402,7 +447,9 @@ func main() {
 		demo     = flag.Bool("demo", false, "drive the server with a built-in client and exit")
 		jdir     = flag.String("journal-dir", "", "durable request journal directory; admits are journaled before acknowledgement and unfinished requests replay on boot (empty = off)")
 		jsync    = flag.String("journal-sync", "batch", "journal fsync policy: none (process-crash safe), batch (group-commit fsync; default), always (fsync per record)")
-		metrics  = flag.String("metrics-addr", "", "HTTP introspection listen address serving /metrics, /debug/requests, /healthz and /debug/pprof (empty = off)")
+		metrics  = flag.String("metrics-addr", "", "HTTP introspection listen address serving /metrics, /debug/requests, /debug/trace, /healthz and /debug/pprof (empty = off)")
+		traceOut = flag.String("trace-out", "", "write the assembled causal trace (Chrome/Perfetto trace-event JSON) to this file at shutdown (empty = off)")
+		incDir   = flag.String("incident-dir", "", "arm the anomaly-triggered flight recorder, spooling incident bundles (ring snapshot, metrics, profiles, trace) into this directory (empty = off)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at exit; in serve mode, send SIGINT/SIGTERM)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -441,15 +488,17 @@ func main() {
 		Vocab: *vocab, Embed: *embed, Hidden: *hidden,
 		Workers: *workers, Pools: poolSizes, MaxQueue: *maxQueue, Deadline: *deadline,
 		SLA: *sla, PolicyMode: mode, Precision: precision,
-		JournalDir: *jdir, JournalSync: *jsync,
+		JournalDir: *jdir, JournalSync: *jsync, IncidentDir: *incDir,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer a.close()
 	// Registered after srv.Stop so the heap profile is taken while the
-	// server (arenas, pools, live maps) is still alive.
+	// server (arenas, pools, live maps) is still alive, and the trace is
+	// assembled while the rings still hold the final records.
 	defer writeMemProfile(*memProf)
+	defer writeTraceOut(*traceOut, a.srv)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -464,7 +513,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer mln.Close()
-		log.Printf("introspection on http://%s (/metrics /debug/requests /healthz /debug/pprof)", mln.Addr())
+		log.Printf("introspection on http://%s (/metrics /debug/requests /debug/trace /healthz /debug/pprof)", mln.Addr())
 		go func() {
 			srv := &http.Server{Handler: obsv.Handler(a.srv.Observer(), a.health)}
 			if err := srv.Serve(mln); err != nil && !errors.Is(err, net.ErrClosed) {
@@ -521,6 +570,25 @@ func fatalFlagValue(name string, err error) {
 		fmt.Fprintf(os.Stderr, "usage of -%s: %s (default %q)\n", name, f.Usage, f.DefValue)
 	}
 	os.Exit(2)
+}
+
+// writeTraceOut assembles the server's span rings into a Chrome/Perfetto
+// trace-event JSON file — open it at https://ui.perfetto.dev.
+func writeTraceOut(path string, srv *server.Server) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("trace-out: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := srv.Observer().WriteTrace(f, obsv.TraceOptions{}); err != nil {
+		log.Printf("trace-out: %v", err)
+		return
+	}
+	log.Printf("trace written to %s (load in https://ui.perfetto.dev)", path)
 }
 
 // writeMemProfile captures a heap profile after a forced GC, so the profile

@@ -29,11 +29,18 @@ func (c *GuardConfig) Speedup() float64 {
 
 // GuardObservability is the recorded tracing-on vs tracing-off comparison
 // of the pipelined engine (same workload, observability as the only
-// difference), in wall nanoseconds per executed cell.
+// difference), in wall nanoseconds per executed cell. The detector fields
+// are the second pairing, tracing-on both sides, with the diagnosis layer
+// (SLO burn engine + live flight recorder) as the only difference; zero in
+// reports recorded before the diagnosis layer existed.
 type GuardObservability struct {
 	TracingOnNsPerCell  float64 `json:"tracing_on_ns_per_cell"`
 	TracingOffNsPerCell float64 `json:"tracing_off_ns_per_cell"`
 	OverheadRatio       float64 `json:"overhead_ratio"`
+
+	DetectorOnNsPerCell   float64 `json:"detector_on_ns_per_cell,omitempty"`
+	DetectorOffNsPerCell  float64 `json:"detector_off_ns_per_cell,omitempty"`
+	DetectorOverheadRatio float64 `json:"detector_overhead_ratio,omitempty"`
 }
 
 // Ratio returns tracing-on over tracing-off ns/cell.
@@ -48,6 +55,20 @@ func (o *GuardObservability) Ratio() float64 {
 // the honest report is "no measurable overhead", i.e. 1.0.
 func (o *GuardObservability) EffectiveRatio() float64 {
 	if r := o.Ratio(); r > 1.0 {
+		return r
+	}
+	return 1.0
+}
+
+// DetectorRatio returns detector-on over detector-off ns/cell.
+func (o *GuardObservability) DetectorRatio() float64 {
+	return o.DetectorOnNsPerCell / o.DetectorOffNsPerCell
+}
+
+// DetectorEffectiveRatio clamps the detector ratio to at least 1.0, with the
+// same noise-floor reading as EffectiveRatio.
+func (o *GuardObservability) DetectorEffectiveRatio() float64 {
+	if r := o.DetectorRatio(); r > 1.0 {
 		return r
 	}
 	return 1.0
@@ -260,6 +281,26 @@ func (r *GuardReport) CheckObservabilityOverhead(maxRatio float64) error {
 	if ratio := o.EffectiveRatio(); ratio > maxRatio {
 		return fmt.Errorf("bench: tracing-on costs %.1f ns/cell vs %.1f off (%.3fx, budget %.2fx) — the observability layer is no longer cheap",
 			o.TracingOnNsPerCell, o.TracingOffNsPerCell, ratio, maxRatio)
+	}
+	// The detector pairing (SLO burn engine + live flight recorder vs
+	// tracing-only) is gated against the same budget. Reports recorded
+	// before the diagnosis layer (fields zero) are skipped.
+	if o.DetectorOnNsPerCell != 0 || o.DetectorOffNsPerCell != 0 {
+		if o.DetectorOnNsPerCell <= 0 || o.DetectorOffNsPerCell <= 0 {
+			return fmt.Errorf("bench: detector record has non-positive ns/cell (on=%.1f off=%.1f)",
+				o.DetectorOnNsPerCell, o.DetectorOffNsPerCell)
+		}
+		if o.DetectorOverheadRatio != 0 {
+			const tol = 1e-6
+			if d := o.DetectorRatio() - o.DetectorOverheadRatio; d > tol || d < -tol {
+				return fmt.Errorf("bench: recorded detector overhead %.6f disagrees with its inputs (%.6f) — stale or edited report",
+					o.DetectorOverheadRatio, o.DetectorRatio())
+			}
+		}
+		if ratio := o.DetectorEffectiveRatio(); ratio > maxRatio {
+			return fmt.Errorf("bench: detector-on costs %.1f ns/cell vs %.1f off (%.3fx, budget %.2fx) — the diagnosis layer is no longer cheap",
+				o.DetectorOnNsPerCell, o.DetectorOffNsPerCell, ratio, maxRatio)
+		}
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"batchmaker/internal/core"
 	"batchmaker/internal/journal"
 	"batchmaker/internal/metrics"
+	"batchmaker/internal/obsv"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/server"
 	"batchmaker/internal/tensor"
@@ -53,6 +54,16 @@ type LiveOptions struct {
 	// submits every request with a serialized payload, for measuring the
 	// durability layer's cost against the journal-off engine.
 	JournalDir string
+	// Detector arms the diagnosis layer on top of the default observability
+	// stack: the SLO burn-rate engine feeding every terminal, plus a live
+	// flight recorder evaluating its rules on a fast cadence while the
+	// workload runs, for measuring the detector's cost against the
+	// tracing-only engine. Targets are set high enough that no rule fires —
+	// the comparison measures always-on monitoring, not a bundle dump.
+	Detector bool
+	// IncidentDir is the flight-recorder spool used when Detector is set
+	// (required then; benchmarks pass a temp dir).
+	IncidentDir string
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -202,6 +213,12 @@ func RunLivePipelined(o LiveOptions) (LiveResult, error) {
 		Cells:            []server.CellSpec{{Cell: w.cell, MaxBatch: 16}},
 		Obs:              server.ObsConfig{Disabled: o.ObsDisabled},
 	}
+	if o.Detector {
+		// A 1s target on a millisecond-scale workload: the SLO path runs for
+		// every terminal but never burns budget, so the detector stays armed
+		// without dumping a bundle into the timed region.
+		cfg.Obs.SLOTarget = time.Second
+	}
 	var jnl *journal.Journal
 	if o.JournalDir != "" {
 		var err error
@@ -217,6 +234,19 @@ func RunLivePipelined(o LiveOptions) (LiveResult, error) {
 		return LiveResult{}, err
 	}
 	defer srv.Stop()
+	if o.Detector {
+		fr, err := obsv.NewFlightRecorder(srv.Observer(), obsv.FlightRecorderConfig{
+			Dir:      o.IncidentDir,
+			SLA:      time.Second,
+			Interval: 100 * time.Millisecond,
+			SLO:      srv.SLO(),
+		})
+		if err != nil {
+			return LiveResult{}, err
+		}
+		fr.Run()
+		defer fr.Stop()
+	}
 	ctx := context.Background()
 	name := "pipelined"
 	submit := func(g *cellgraph.Graph) error {

@@ -140,6 +140,48 @@ func recordObsPairs(t *testing.T, o LiveOptions, pairs int) (on, off LiveResult,
 	return med.on, med.off, med.ratio
 }
 
+// recordDetectorPairs measures the diagnosis layer's cost: interleaved
+// pairs of the pipelined engine with tracing on both sides and the detector
+// stack (SLO burn engine + live flight recorder) as the only difference,
+// reported as the median pair's ns/cell ratio.
+func recordDetectorPairs(t *testing.T, o LiveOptions, pairs int) (on, off LiveResult, ratio float64) {
+	t.Helper()
+	type pair struct {
+		on, off LiveResult
+		ratio   float64
+	}
+	run := func(detector bool) LiveResult {
+		oo := o
+		oo.Detector = detector
+		if detector {
+			oo.IncidentDir = t.TempDir()
+		}
+		r, err := RunLivePipelined(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	var ps []pair
+	for i := 0; i < pairs; i++ {
+		var pr pair
+		if i%2 == 0 {
+			pr.on = run(true)
+			pr.off = run(false)
+		} else {
+			pr.off = run(false)
+			pr.on = run(true)
+		}
+		pr.ratio = pr.on.NsPerCell() / pr.off.NsPerCell()
+		t.Logf("detector pair %d: detector on %.0f ns/cell, off %.0f ns/cell, ratio %.3f",
+			i, pr.on.NsPerCell(), pr.off.NsPerCell(), pr.ratio)
+		ps = append(ps, pr)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ratio < ps[j].ratio })
+	med := ps[pairs/2]
+	return med.on, med.off, med.ratio
+}
+
 // recordJournalPairs measures the durability layer's cost: interleaved
 // pairs of the pipelined engine with the request journal on (sync=batch,
 // the production default) and off, reported as the median pair's ns/cell
@@ -398,6 +440,8 @@ func TestRecordLiveBench(t *testing.T) {
 	runtime.GOMAXPROCS(prev)
 	t.Logf("=== observability overhead (GOMAXPROCS=%d) ===", prev)
 	obsOn, obsOff, obsRatio := recordObsPairs(t, o, pairs)
+	t.Logf("=== detector overhead (GOMAXPROCS=%d) ===", prev)
+	detOn, detOff, detRatio := recordDetectorPairs(t, o, pairs)
 	t.Logf("=== durability overhead (GOMAXPROCS=%d) ===", prev)
 	jnlOn, jnlOff, jnlRatio := recordJournalPairs(t, o, pairs)
 	t.Logf("=== pool scaling (GOMAXPROCS=%d) ===", prev)
@@ -437,9 +481,12 @@ func TestRecordLiveBench(t *testing.T) {
 		"options":   o,
 		"configs":   configs,
 		"observability": map[string]any{
-			"tracing_on_ns_per_cell":  obsOn.NsPerCell(),
-			"tracing_off_ns_per_cell": obsOff.NsPerCell(),
-			"overhead_ratio":          obsRatio,
+			"tracing_on_ns_per_cell":   obsOn.NsPerCell(),
+			"tracing_off_ns_per_cell":  obsOff.NsPerCell(),
+			"overhead_ratio":           obsRatio,
+			"detector_on_ns_per_cell":  detOn.NsPerCell(),
+			"detector_off_ns_per_cell": detOff.NsPerCell(),
+			"detector_overhead_ratio":  detRatio,
 		},
 		"durability": map[string]any{
 			"journal_on_ns_per_cell":  jnlOn.NsPerCell(),

@@ -97,6 +97,12 @@ type Options struct {
 	// Metrics receives the journal's counters and histograms; nil means
 	// no-op metrics.
 	Metrics *obsv.JournalMetrics
+	// WriterRing / SyncerRing receive journal trace spans (group-commit
+	// flushes, fsyncs, durability acks) for /debug/trace assembly. The
+	// flush goroutine is the single writer of WriterRing, the sync
+	// goroutine of SyncerRing. nil rings are no-ops.
+	WriterRing *obsv.Ring
+	SyncerRing *obsv.Ring
 	// OpenSegment opens a fresh segment file for writing (default
 	// os.Create). The failure-injection seam for degradation tests.
 	OpenSegment func(path string) (SegmentFile, error)
@@ -471,6 +477,7 @@ func (j *Journal) commit(batch []*pending) {
 		j.failBatch(batch, err)
 		return
 	}
+	start := time.Now()
 	var bytes int64
 	err := func() error {
 		for _, p := range batch {
@@ -498,6 +505,13 @@ func (j *Journal) commit(batch []*pending) {
 		return j.w.Flush()
 	}()
 	j.m.Bytes.Add(bytes)
+	j.opts.WriterRing.Write(obsv.Record{
+		Kind:   obsv.KindJournalFlush,
+		Worker: obsv.JournalWriterLane,
+		Batch:  uint16(len(batch)),
+		T0:     start.UnixNano(),
+		T1:     time.Now().UnixNano(),
+	})
 	if err != nil {
 		j.degrade(err)
 		j.failBatch(batch, err)
@@ -509,18 +523,32 @@ func (j *Journal) commit(batch []*pending) {
 		j.syncCh <- syncReq{f: j.f, batch: cp, end: j.segBytes}
 		return
 	}
-	j.ackBatch(batch)
+	j.ackBatch(batch, j.opts.WriterRing)
 }
 
 // ackBatch resolves a durably committed batch: per-kind counters, commit
-// latency, then each record's response channel.
-func (j *Journal) ackBatch(batch []*pending) {
+// latency, then each record's response channel. ring is the acking
+// goroutine's trace ring (the writer ring when called from commit, the
+// syncer ring from syncReqs — ackBatch runs on either side of the split
+// depending on the sync policy); admit records emit a durability span so
+// /debug/trace can draw the admit → durable flow arrow.
+func (j *Journal) ackBatch(batch []*pending, ring *obsv.Ring) {
 	j.m.BatchRecords.Observe(int64(len(batch)))
 	now := time.Now()
+	lane := obsv.JournalWriterLane
+	if ring == j.opts.SyncerRing && ring != nil {
+		lane = obsv.JournalSyncerLane
+	}
 	for _, p := range batch {
 		switch p.rec.Kind {
 		case KindAdmit:
 			j.m.AdmitRecords.Inc()
+			ring.Write(obsv.Record{
+				Kind:   obsv.KindJournalDurable,
+				Worker: lane,
+				Req:    int64(p.rec.ID),
+				T0:     now.UnixNano(),
+			})
 		case KindCancel:
 			j.m.CancelRecords.Inc()
 		case KindTerminal:
@@ -599,18 +627,27 @@ func (j *Journal) syncReqs(reqs []syncReq) {
 			}
 		default:
 			t0 := time.Now()
-			if err := f.Sync(); err != nil {
+			err := f.Sync()
+			t1 := time.Now()
+			j.opts.SyncerRing.Write(obsv.Record{
+				Kind:   obsv.KindJournalFsync,
+				Worker: obsv.JournalSyncerLane,
+				Batch:  uint16(records),
+				T0:     t0.UnixNano(),
+				T1:     t1.UnixNano(),
+			})
+			if err != nil {
 				j.degrade(err)
 				for _, r := range reqs {
 					j.failBatch(r.batch, err)
 				}
 				break
 			}
-			j.observeSync(time.Now(), time.Since(t0))
+			j.observeSync(t1, t1.Sub(t0))
 			j.ackedBytes.Store(end)
 			for _, r := range reqs {
 				if r.batch != nil {
-					j.ackBatch(r.batch)
+					j.ackBatch(r.batch, j.opts.SyncerRing)
 				}
 			}
 		}
@@ -638,10 +675,18 @@ func (j *Journal) syncNow() error {
 		return err
 	}
 	t0 := time.Now()
-	if err := j.f.Sync(); err != nil {
+	err := j.f.Sync()
+	t1 := time.Now()
+	j.opts.WriterRing.Write(obsv.Record{
+		Kind:   obsv.KindJournalFsync,
+		Worker: obsv.JournalWriterLane,
+		T0:     t0.UnixNano(),
+		T1:     t1.UnixNano(),
+	})
+	if err != nil {
 		return err
 	}
-	j.observeSync(time.Now(), time.Since(t0))
+	j.observeSync(t1, t1.Sub(t0))
 	j.ackedBytes.Store(j.segBytes)
 	return nil
 }

@@ -1,0 +1,116 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"batchmaker/internal/obsv"
+)
+
+// collect waits for at least one record of each wanted kind to land in the
+// ring, bounded by a deadline — the flush/sync goroutines write
+// asynchronously after the append is acknowledged.
+func collect(t *testing.T, r *obsv.Ring, deadline time.Duration, want ...obsv.Kind) map[obsv.Kind][]obsv.Record {
+	t.Helper()
+	var recs []obsv.Record
+	stop := time.Now().Add(deadline)
+	for {
+		recs = r.Snapshot(recs[:0])
+		got := map[obsv.Kind][]obsv.Record{}
+		for _, rec := range recs {
+			got[rec.Kind] = append(got[rec.Kind], rec)
+		}
+		missing := false
+		for _, k := range want {
+			if len(got[k]) == 0 {
+				missing = true
+			}
+		}
+		if !missing {
+			return got
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("ring %s never saw all of %v; has %v", r.Name(), want, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJournalTraceRingsSyncNone: under SyncNone the flush goroutine owns
+// both the group-commit flush span and the durability acks; the syncer
+// ring stays empty.
+func TestJournalTraceRingsSyncNone(t *testing.T) {
+	wr := obsv.NewRing("journal-writer", 64)
+	sr := obsv.NewRing("journal-syncer", 64)
+	j, _ := openTest(t, func(o *Options) {
+		o.WriterRing = wr
+		o.SyncerRing = sr
+	})
+	defer j.Close()
+
+	for i := uint64(1); i <= 4; i++ {
+		if err := <-j.AppendAdmit(i, []byte("{}"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, wr, time.Second, obsv.KindJournalFlush, obsv.KindJournalDurable)
+
+	for _, rec := range got[obsv.KindJournalFlush] {
+		if rec.Worker != obsv.JournalWriterLane {
+			t.Fatalf("flush span on lane %d, want writer lane", rec.Worker)
+		}
+		if rec.Batch <= 0 {
+			t.Fatalf("flush span carries batch size %d", rec.Batch)
+		}
+		if rec.T1 < rec.T0 {
+			t.Fatalf("flush span runs backwards: %d..%d", rec.T0, rec.T1)
+		}
+	}
+	// Every admit gets a durability ack carrying its request id.
+	seen := map[int64]bool{}
+	for _, rec := range got[obsv.KindJournalDurable] {
+		seen[rec.Req] = true
+	}
+	for i := int64(1); i <= 4; i++ {
+		if !seen[i] {
+			t.Fatalf("no durable ack for request %d: %v", i, got[obsv.KindJournalDurable])
+		}
+	}
+	if n := len(sr.Snapshot(nil)); n != 0 {
+		t.Fatalf("SyncNone wrote %d records to the syncer ring", n)
+	}
+}
+
+// TestJournalTraceRingsSyncBatch: under SyncBatch the fsync and the
+// durability acks move to the sync goroutine's ring, tagged with the
+// syncer lane.
+func TestJournalTraceRingsSyncBatch(t *testing.T) {
+	wr := obsv.NewRing("journal-writer", 64)
+	sr := obsv.NewRing("journal-syncer", 64)
+	j, _ := openTest(t, func(o *Options) {
+		o.Sync = SyncBatch
+		o.WriterRing = wr
+		o.SyncerRing = sr
+	})
+	defer j.Close()
+
+	if err := <-j.AppendAdmit(1, []byte("{}"), 0); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, wr, time.Second, obsv.KindJournalFlush)
+	got := collect(t, sr, time.Second, obsv.KindJournalFsync, obsv.KindJournalDurable)
+	for _, rec := range got[obsv.KindJournalFsync] {
+		if rec.Worker != obsv.JournalSyncerLane {
+			t.Fatalf("fsync span on lane %d, want syncer lane", rec.Worker)
+		}
+	}
+	found := false
+	for _, rec := range got[obsv.KindJournalDurable] {
+		if rec.Req == 1 && rec.Worker == obsv.JournalSyncerLane {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no syncer-lane durable ack for request 1: %v", got[obsv.KindJournalDurable])
+	}
+}

@@ -1,0 +1,399 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Flight-recorder metric family names. Registered only when a recorder is
+// wired, so recorder-off deployments keep the golden exposition unchanged.
+const (
+	MetricFlightIncidents = "batchmaker_flightrec_incidents_total"
+	MetricFlightBundles   = "batchmaker_flightrec_bundles_total"
+)
+
+// Incident reasons (bundle directory suffixes).
+const (
+	IncidentForced         = "forced"
+	IncidentSLABreach      = "sla_p99"
+	IncidentSLOBurn        = "slo_burn"
+	IncidentShedBurst      = "shed_burst"
+	IncidentJournalDegrade = "journal_degraded"
+	IncidentPolicyShed     = "policy_shed"
+	IncidentRebalanceStorm = "rebalance_storm"
+)
+
+// FlightRecorderConfig configures the anomaly-triggered flight recorder.
+type FlightRecorderConfig struct {
+	// Dir is the bundle spool directory (created if missing). Required.
+	Dir string
+	// MaxBundles bounds the spool: oldest bundles are pruned beyond it
+	// (<=0 means 8).
+	MaxBundles int
+	// Debounce is the minimum spacing between bundles, so one incident
+	// produces exactly one bundle even when several detector rules fire
+	// across consecutive ticks (<=0 means 5m).
+	Debounce time.Duration
+	// Interval is the detector evaluation period (<=0 means 5s).
+	Interval time.Duration
+	// SLA arms the P99-breach rule: queuing+computation P99 above it
+	// triggers. 0 disables the rule.
+	SLA time.Duration
+	// Timelines is how many recent request timelines go into a bundle
+	// (<=0 means 128).
+	Timelines int
+	// RejectBurst / PinMoveBurst are per-tick deltas that count as a shed
+	// burst / rebalance storm (<=0 means 10 / 8).
+	RejectBurst  int64
+	PinMoveBurst int64
+	// Health, SLO, and Policy arm the corresponding rules when non-nil.
+	Health func() Health
+	SLO    *SLOEngine
+	Policy *PolicyMetrics
+}
+
+// Incident is the manifest written to a bundle's incident.json.
+type Incident struct {
+	Reason   string     `json:"reason"`
+	UnixNs   int64      `json:"unix_ns"`
+	Time     string     `json:"time"`
+	Seq      int        `json:"seq"`
+	Burn5m   float64    `json:"slo_burn_5m,omitempty"`
+	Burn1h   float64    `json:"slo_burn_1h,omitempty"`
+	QueueP99 float64    `json:"queuing_p99_seconds,omitempty"`
+	CompP99  float64    `json:"computation_p99_seconds,omitempty"`
+	Rings    []RingStat `json:"rings"`
+}
+
+// RingStat summarizes one span ring inside a bundle.
+type RingStat struct {
+	Name    string `json:"name"`
+	Cap     int    `json:"cap"`
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// FlightRecorder is an always-on incident detector over the obsv registry.
+// On trigger it atomically dumps a self-contained diagnosis bundle (frozen
+// ring snapshot, metrics exposition, goroutine + heap profiles, request
+// timelines, assembled trace) to a bounded on-disk spool. Detection runs on
+// its own goroutine off the hot path; the serving pipeline never blocks on
+// it.
+type FlightRecorder struct {
+	o   *Observer
+	cfg FlightRecorderConfig
+
+	incidents *Counter
+	bundles   *Counter
+
+	mu         sync.Mutex
+	latched    map[string]bool
+	lastDumpNs int64
+	seq        int
+
+	lastRejected int64
+	lastPinMoves int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewFlightRecorder builds a recorder over o's rings and metrics. It does
+// not start the detector goroutine — call Run (or drive Evaluate manually,
+// as tests do).
+func NewFlightRecorder(o *Observer, cfg FlightRecorderConfig) (*FlightRecorder, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("flightrec: Dir is required")
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = 8
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = 5 * time.Minute
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.Timelines <= 0 {
+		cfg.Timelines = 128
+	}
+	if cfg.RejectBurst <= 0 {
+		cfg.RejectBurst = 10
+	}
+	if cfg.PinMoveBurst <= 0 {
+		cfg.PinMoveBurst = 8
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	fr := &FlightRecorder{
+		o:       o,
+		cfg:     cfg,
+		latched: make(map[string]bool),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if o != nil && o.Metrics != nil {
+		reg := o.Metrics.Registry()
+		fr.incidents = reg.Counter(MetricFlightIncidents,
+			"Incidents detected by the flight recorder.")
+		fr.bundles = reg.Counter(MetricFlightBundles,
+			"Flight-recorder bundles written to the spool.")
+		fr.lastRejected = o.Metrics.Rejected.Value()
+		fr.lastPinMoves = o.Metrics.PinMoves.Value()
+	}
+	return fr, nil
+}
+
+// Run starts the detector loop; Stop ends it.
+func (fr *FlightRecorder) Run() {
+	go func() {
+		defer close(fr.done)
+		t := time.NewTicker(fr.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-fr.stop:
+				return
+			case now := <-t.C:
+				fr.Evaluate(now.UnixNano())
+			}
+		}
+	}()
+}
+
+// Stop halts the detector loop (idempotent; safe if Run was never called —
+// but then it blocks forever on done, so only call Stop after Run).
+func (fr *FlightRecorder) Stop() {
+	fr.stopOnce.Do(func() { close(fr.stop) })
+	<-fr.done
+}
+
+// p99 returns the P99 of a quantile summary in seconds (0 when empty).
+func p99(q *Quantiles) float64 {
+	if q == nil {
+		return 0
+	}
+	qs, vals := q.Query()
+	for i, frac := range qs {
+		if frac == 0.99 {
+			return vals[i].Seconds()
+		}
+	}
+	return 0
+}
+
+// Evaluate runs one detector pass at nowNs and returns the bundle paths
+// written (usually none). Each rule is latched: it fires once when its
+// condition becomes true and re-arms only after the condition clears, so a
+// persistent incident produces one bundle, not one per tick.
+func (fr *FlightRecorder) Evaluate(nowNs int64) []string {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	var fired []string
+	check := func(reason string, active bool) {
+		if !active {
+			fr.latched[reason] = false
+			return
+		}
+		if fr.latched[reason] {
+			return
+		}
+		fr.latched[reason] = true
+		fr.incidents.Inc()
+		if dir, err := fr.dumpLocked(reason, nowNs); err == nil && dir != "" {
+			fired = append(fired, dir)
+		}
+	}
+
+	if sm := fr.metrics(); sm != nil {
+		if fr.cfg.SLA > 0 {
+			total := p99(sm.Queuing) + p99(sm.Computation)
+			check(IncidentSLABreach, total > fr.cfg.SLA.Seconds())
+		}
+		rej := sm.Rejected.Value()
+		check(IncidentShedBurst, rej-fr.lastRejected >= fr.cfg.RejectBurst)
+		fr.lastRejected = rej
+		pm := sm.PinMoves.Value()
+		check(IncidentRebalanceStorm, pm-fr.lastPinMoves >= fr.cfg.PinMoveBurst)
+		fr.lastPinMoves = pm
+	}
+	if fr.cfg.SLO != nil {
+		check(IncidentSLOBurn, fr.cfg.SLO.Breached(nowNs))
+	}
+	if fr.cfg.Health != nil {
+		check(IncidentJournalDegrade, fr.cfg.Health().JournalDegraded)
+	}
+	if fr.cfg.Policy != nil {
+		check(IncidentPolicyShed, fr.cfg.Policy.Shedding.Value() == 1)
+	}
+	return fired
+}
+
+func (fr *FlightRecorder) metrics() *ServingMetrics {
+	if fr.o == nil {
+		return nil
+	}
+	return fr.o.Metrics
+}
+
+// Force triggers a bundle dump unconditionally (operator endpoint, tests).
+// The debounce still applies, so repeated forcing within the window writes
+// exactly one bundle; the returned path is empty when debounced.
+func (fr *FlightRecorder) Force(reason string, nowNs int64) (string, error) {
+	if reason == "" {
+		reason = IncidentForced
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.incidents.Inc()
+	return fr.dumpLocked(reason, nowNs)
+}
+
+// dumpLocked writes one bundle (debounce permitting). The bundle is staged
+// in a ".tmp" directory and renamed into place, so readers of the spool
+// never see a partial bundle.
+func (fr *FlightRecorder) dumpLocked(reason string, nowNs int64) (string, error) {
+	if fr.lastDumpNs != 0 && nowNs-fr.lastDumpNs < int64(fr.cfg.Debounce) {
+		return "", nil
+	}
+	fr.lastDumpNs = nowNs
+	fr.seq++
+	name := fmt.Sprintf("incident-%06d-%s", fr.seq, reason)
+	final := filepath.Join(fr.cfg.Dir, name)
+	tmp := final + ".tmp"
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", err
+	}
+	if err := fr.writeBundle(tmp, reason, nowNs); err != nil {
+		_ = os.RemoveAll(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.RemoveAll(tmp)
+		return "", err
+	}
+	fr.bundles.Inc()
+	fr.pruneLocked()
+	return final, nil
+}
+
+func writeFile(dir, name string, fn func(f *os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (fr *FlightRecorder) writeBundle(dir, reason string, nowNs int64) error {
+	inc := Incident{
+		Reason: reason,
+		UnixNs: nowNs,
+		Time:   time.Unix(0, nowNs).UTC().Format(time.RFC3339Nano),
+		Seq:    fr.seq,
+	}
+	if fr.cfg.SLO != nil {
+		inc.Burn5m = fr.cfg.SLO.BurnRate(SLOShortWindow, nowNs)
+		inc.Burn1h = fr.cfg.SLO.BurnRate(SLOLongWindow, nowNs)
+	}
+	if sm := fr.metrics(); sm != nil {
+		inc.QueueP99 = p99(sm.Queuing)
+		inc.CompP99 = p99(sm.Computation)
+	}
+	for _, r := range fr.o.Rings() {
+		inc.Rings = append(inc.Rings, RingStat{
+			Name: r.Name(), Cap: r.Cap(), Total: r.Total(), Dropped: r.Dropped(),
+		})
+	}
+	steps := []struct {
+		name string
+		fn   func(f *os.File) error
+	}{
+		{"incident.json", func(f *os.File) error {
+			e := json.NewEncoder(f)
+			e.SetIndent("", "  ")
+			return e.Encode(inc)
+		}},
+		{"metrics.prom", func(f *os.File) error {
+			if sm := fr.metrics(); sm != nil {
+				return sm.Registry().WritePromTo(f)
+			}
+			return nil
+		}},
+		{"trace.json", func(f *os.File) error {
+			return fr.o.WriteTrace(f, TraceOptions{})
+		}},
+		{"requests.jsonl", func(f *os.File) error {
+			return fr.o.WriteRequestsJSONL(f, fr.cfg.Timelines)
+		}},
+		{"rings.json", func(f *os.File) error {
+			type ringDump struct {
+				RingStat
+				Records []Record `json:"records"`
+			}
+			var dump []ringDump
+			for _, r := range fr.o.Rings() {
+				dump = append(dump, ringDump{
+					RingStat: RingStat{Name: r.Name(), Cap: r.Cap(),
+						Total: r.Total(), Dropped: r.Dropped()},
+					Records: r.Snapshot(nil),
+				})
+			}
+			return json.NewEncoder(f).Encode(dump)
+		}},
+		{"goroutines.txt", func(f *os.File) error {
+			return pprof.Lookup("goroutine").WriteTo(f, 1)
+		}},
+		{"heap.pprof", func(f *os.File) error {
+			return pprof.Lookup("heap").WriteTo(f, 0)
+		}},
+	}
+	if fr.cfg.Health != nil {
+		steps = append(steps, struct {
+			name string
+			fn   func(f *os.File) error
+		}{"health.json", func(f *os.File) error {
+			return json.NewEncoder(f).Encode(fr.cfg.Health())
+		}})
+	}
+	for _, s := range steps {
+		if err := writeFile(dir, s.name, s.fn); err != nil {
+			return fmt.Errorf("flightrec: %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// pruneLocked keeps the spool bounded: oldest bundles (lowest sequence
+// numbers) beyond MaxBundles are removed.
+func (fr *FlightRecorder) pruneLocked() {
+	entries, err := os.ReadDir(fr.cfg.Dir)
+	if err != nil {
+		return
+	}
+	var bundles []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "incident-") &&
+			!strings.HasSuffix(e.Name(), ".tmp") {
+			bundles = append(bundles, e.Name())
+		}
+	}
+	sort.Strings(bundles) // zero-padded seq: lexicographic = chronological
+	for len(bundles) > fr.cfg.MaxBundles {
+		_ = os.RemoveAll(filepath.Join(fr.cfg.Dir, bundles[0]))
+		bundles = bundles[1:]
+	}
+}

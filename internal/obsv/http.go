@@ -23,6 +23,12 @@ type Health struct {
 	// error and flipped to lossy mode; JournalError carries the cause.
 	JournalDegraded bool   `json:"journal_degraded,omitempty"`
 	JournalError    string `json:"journal_error,omitempty"`
+	// PolicyShedding is true while the adaptive admission gate is in its
+	// shedding state; PolicySheds counts the requests it rejected. Like a
+	// degraded journal these are details, not failures — the server still
+	// answers 200 while shedding (it is protecting its SLA).
+	PolicyShedding bool  `json:"policy_shedding,omitempty"`
+	PolicySheds    int64 `json:"policy_sheds,omitempty"`
 }
 
 // OK reports whether the health state should answer 200.
@@ -51,6 +57,17 @@ func Handler(o *Observer, health func() Health) http.Handler {
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 		_ = o.WriteRequestsJSONL(w, limit)
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		var opt TraceOptions
+		if s := r.URL.Query().Get("since"); s != "" {
+			if ns, err := strconv.ParseInt(s, 10, 64); err == nil {
+				opt.SinceNs = ns
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="batchmaker-trace.json"`)
+		_ = o.WriteTrace(w, opt)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		h := Health{Status: "serving"}
 		if health != nil {
@@ -76,6 +93,7 @@ func Handler(o *Observer, health func() Health) http.Handler {
 		_, _ = w.Write([]byte("batchmaker introspection\n\n" +
 			"  /metrics          Prometheus text exposition\n" +
 			"  /debug/requests   recent request timelines (JSONL, ?limit=N)\n" +
+			"  /debug/trace      Perfetto/Chrome trace-event JSON (?since=unixNs)\n" +
 			"  /healthz          drain/overload state (503 unless serving)\n" +
 			"  /debug/pprof/     Go runtime profiles\n"))
 	})

@@ -41,10 +41,19 @@ type Observer struct {
 
 	ringCap int
 
-	mu    sync.Mutex
-	rings []*Ring
-	types map[string]uint16
-	names []string // index = type ID
+	mu      sync.Mutex
+	rings   []*Ring
+	types   map[string]uint16
+	names   []string // index = type ID
+	details map[uint16]TypeDetail
+}
+
+// TypeDetail carries per-cell-type annotations resolved at trace-assembly
+// time: the configured batch bound (for occupancy/padding) and the
+// execution precision tier.
+type TypeDetail struct {
+	MaxBatch  int
+	Precision string
 }
 
 // NewObserver builds an Observer over reg (nil reg yields inert metrics —
@@ -57,6 +66,7 @@ func NewObserver(reg *Registry, ringCap, sample int) *Observer {
 		ringCap: ringCap,
 		types:   make(map[string]uint16),
 		names:   []string{"?"}, // ID 0 = unknown
+		details: make(map[uint16]TypeDetail),
 	}
 	if sample == 0 {
 		sample = 1
@@ -117,6 +127,20 @@ func (o *Observer) NewRing(name string) *Ring {
 	return r
 }
 
+// AdoptRing registers an externally created ring (obsv.NewRing) with this
+// observer so snapshots, gauges, and trace assembly include it. Used when a
+// ring's writer starts before the observer exists — e.g. the journal's
+// flush/sync loops, which open before the server builds its observer. A nil
+// ring is ignored.
+func (o *Observer) AdoptRing(r *Ring) {
+	if o == nil || r == nil {
+		return
+	}
+	o.mu.Lock()
+	o.rings = append(o.rings, r)
+	o.mu.Unlock()
+}
+
 // SampleSpan reports whether the next span record on ring r should be
 // written, advancing r's writer-owned sampling counter. Lifecycle records
 // must NOT consult this — they are always written.
@@ -150,6 +174,29 @@ func (o *Observer) InternType(key string) uint16 {
 	o.types[key] = id
 	o.names = append(o.names, key)
 	return id
+}
+
+// SetTypeDetail attaches trace annotations (batch bound, precision tier)
+// to a cell type, interning it if needed. Call at setup, not per event.
+func (o *Observer) SetTypeDetail(key string, d TypeDetail) {
+	if o == nil {
+		return
+	}
+	id := o.InternType(key)
+	o.mu.Lock()
+	o.details[id] = d
+	o.mu.Unlock()
+}
+
+// TypeDetailFor resolves a type ID's trace annotations (zero value if none
+// were registered).
+func (o *Observer) TypeDetailFor(id uint16) TypeDetail {
+	if o == nil {
+		return TypeDetail{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.details[id]
 }
 
 // TypeName resolves an interned type ID back to its key ("?" if unknown).

@@ -35,6 +35,26 @@ const (
 	KindRetry
 	// KindPanic records a recovered cell panic.
 	KindPanic
+	// KindJournalFlush records one journal group-commit write+flush batch:
+	// T0 is the batch collect start, T1 the flush completion, Batch the
+	// number of records committed.
+	KindJournalFlush
+	// KindJournalFsync records one fsync call on the journal's active
+	// segment: T0 start, T1 completion. A long T1-T0 is an fsync stall.
+	KindJournalFsync
+	// KindJournalDurable records one admit record becoming durable (synced
+	// or acked per the journal's sync policy); Req links it into the
+	// request's causal flow.
+	KindJournalDurable
+	// KindPolicyShed records the adaptive admission gate shedding one
+	// submission (the companion lifecycle record is KindReject).
+	KindPolicyShed
+	// KindPolicyBatch records an adaptive MaxBatch move: Type is the cell
+	// type, Batch the new bound.
+	KindPolicyBatch
+	// KindRebalance records a scheduler pin-rebalance burst; Batch is the
+	// number of cell types whose pin moved.
+	KindRebalance
 )
 
 func (k Kind) String() string {
@@ -61,9 +81,29 @@ func (k Kind) String() string {
 		return "retry"
 	case KindPanic:
 		return "panic"
+	case KindJournalFlush:
+		return "journal_flush"
+	case KindJournalFsync:
+		return "journal_fsync"
+	case KindJournalDurable:
+		return "journal_durable"
+	case KindPolicyShed:
+		return "policy_shed"
+	case KindPolicyBatch:
+		return "policy_batch"
+	case KindRebalance:
+		return "rebalance"
 	}
 	return "invalid"
 }
+
+// Record flag bits (Record.Flags).
+const (
+	// FlagRemote marks a task dispatched off its cell type's pinned device.
+	FlagRemote uint8 = 1 << iota
+	// FlagMigrated marks a task batching at least one migrated subgraph.
+	FlagMigrated
+)
 
 // Record is one fixed-size span/event record. All fields are plain values so
 // writing a Record into a Ring never allocates; the string identity behind
@@ -78,6 +118,11 @@ type Record struct {
 	Batch uint16
 	// Queue is the worker's task-queue depth at dispatch (span kinds).
 	Queue uint16
+	// Device is the device-pool index the record's worker belongs to
+	// (span kinds; 0 for single-device deployments).
+	Device uint8
+	// Flags carries the Flag* bits (remote dispatch, migration).
+	Flags uint8
 	// Req is the request ID (lifecycle kinds; 0 otherwise).
 	Req int64
 	// T0 is the record's primary timestamp (unix nanoseconds): the event
@@ -87,8 +132,9 @@ type Record struct {
 	T1 int64
 }
 
-// pack squeezes the small fields into one word so a ring write is six atomic
-// stores (seq twice, meta, req, t0, t1) instead of nine.
+// pack squeezes the small fields into two words so a ring write is seven
+// atomic stores (seq twice, meta, aux, req, t0, t1) instead of eleven. The
+// first word is full; Device and Flags live in the aux word.
 func pack(r Record) uint64 {
 	return uint64(r.Kind) |
 		uint64(r.Worker)<<8 |
@@ -97,13 +143,19 @@ func pack(r Record) uint64 {
 		uint64(r.Queue)<<48
 }
 
-func unpack(m uint64) Record {
+func packAux(r Record) uint64 {
+	return uint64(r.Device) | uint64(r.Flags)<<8
+}
+
+func unpack(m, aux uint64) Record {
 	return Record{
 		Kind:   Kind(m & 0xff),
 		Worker: uint8(m >> 8),
 		Type:   uint16(m >> 16),
 		Batch:  uint16(m >> 32),
 		Queue:  uint16(m >> 48),
+		Device: uint8(aux),
+		Flags:  uint8(aux >> 8),
 	}
 }
 
@@ -115,6 +167,7 @@ func unpack(m uint64) Record {
 type slot struct {
 	seq  atomic.Uint64
 	meta atomic.Uint64
+	aux  atomic.Uint64
 	req  atomic.Int64
 	t0   atomic.Int64
 	t1   atomic.Int64
@@ -123,8 +176,8 @@ type slot struct {
 // Ring is a fixed-capacity, single-writer, lock-free ring of span records.
 // Exactly one goroutine may call Write (and Tick); any number of goroutines
 // may call Snapshot/Total/Dropped concurrently. The hot-path write performs
-// no heap allocation and takes no lock — it is six atomic stores — so it is
-// safe inside the server's zero-allocation worker loop. When the ring is
+// no heap allocation and takes no lock — it is seven atomic stores — so it
+// is safe inside the server's zero-allocation worker loop. When the ring is
 // full the oldest record is overwritten (drop-oldest); Dropped counts the
 // overwrites.
 type Ring struct {
@@ -178,6 +231,7 @@ func (r *Ring) Write(rec Record) {
 	s := &r.slots[i&r.mask]
 	s.seq.Add(1) // odd: write in progress
 	s.meta.Store(pack(rec))
+	s.aux.Store(packAux(rec))
 	s.req.Store(rec.Req)
 	s.t0.Store(rec.T0)
 	s.t1.Store(rec.T1)
@@ -226,7 +280,7 @@ func (r *Ring) Snapshot(dst []Record) []Record {
 			if seq1&1 != 0 {
 				continue
 			}
-			rec := unpack(s.meta.Load())
+			rec := unpack(s.meta.Load(), s.aux.Load())
 			rec.Req = s.req.Load()
 			rec.T0 = s.t0.Load()
 			rec.T1 = s.t1.Load()

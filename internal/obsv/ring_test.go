@@ -10,9 +10,11 @@ func TestRingPackUnpackRoundTrip(t *testing.T) {
 		{Kind: KindAdmit, Req: 42, T0: 1000},
 		{Kind: KindTaskExec, Worker: 3, Type: 7, Batch: 65535, Queue: 12, T0: 5, T1: 9},
 		{Kind: KindPanic, Worker: 255, Type: 65535, Batch: 1, Queue: 65535},
+		{Kind: KindDispatch, Worker: 9, Batch: 4, Device: 255, Flags: FlagRemote | FlagMigrated, T0: 2},
+		{Kind: KindJournalDurable, Worker: JournalSyncerLane, Req: 7, T0: 3},
 	}
 	for _, want := range recs {
-		got := unpack(pack(want))
+		got := unpack(pack(want), packAux(want))
 		got.Req, got.T0, got.T1 = want.Req, want.T0, want.T1
 		if got != want {
 			t.Fatalf("round trip: got %+v want %+v", got, want)

@@ -1,0 +1,125 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOBurnMath(t *testing.T) {
+	e := NewSLOEngine(nil, 0.99, 100*time.Millisecond) // budget = 1%
+	now := time.Now().UnixNano()
+
+	// 99 good + 1 bad = burning the 1% budget exactly at the sustainable
+	// rate → burn 1.0 (up to float rounding of the budget).
+	for i := 0; i < 99; i++ {
+		e.Observe(int64(time.Millisecond), true, now)
+	}
+	e.Observe(0, false, now)
+	if burn := e.BurnRate(SLOShortWindow, now); burn < 0.999 || burn > 1.001 {
+		t.Fatalf("1%% bad against a 1%% budget should burn ~1.0, got %f", burn)
+	}
+
+	// Four more bad → 5/104 bad ≈ burn 4.8: breached in both windows.
+	for i := 0; i < 4; i++ {
+		e.Observe(0, false, now)
+	}
+	if !e.Breached(now) {
+		t.Fatalf("burn %f should breach", e.BurnRate(SLOShortWindow, now))
+	}
+}
+
+func TestSLOLatencyCountsAgainstTarget(t *testing.T) {
+	e := NewSLOEngine(nil, 0.999, 50*time.Millisecond)
+	now := time.Now().UnixNano()
+	e.Observe(int64(10*time.Millisecond), true, now) // inside target
+	e.Observe(int64(90*time.Millisecond), true, now) // completed but slow = bad
+	e.Observe(0, false, now)                         // failed = bad
+	good, bad := e.Totals(SLOShortWindow, now)
+	if good != 1 || bad != 2 {
+		t.Fatalf("good=%d bad=%d, want 1/2 (slow completions burn budget)", good, bad)
+	}
+}
+
+// TestSLOWindowSeparation: events older than the short window drop out of
+// the 5m burn but stay in the 1h burn — the mechanism behind the
+// multi-window alert.
+func TestSLOWindowSeparation(t *testing.T) {
+	e := NewSLOEngine(nil, 0.99, 0)
+	base := time.Now().UnixNano()
+
+	e.Observe(0, false, base) // bad, at t=0
+	later := base + int64(10*time.Minute)
+	e.Observe(0, true, later) // good, 10 minutes later
+
+	if _, bad := e.Totals(SLOShortWindow, later); bad != 0 {
+		t.Fatalf("5m window still sees the old bad event (bad=%d)", bad)
+	}
+	if _, bad := e.Totals(SLOLongWindow, later); bad != 1 {
+		t.Fatalf("1h window lost the old bad event (bad=%d)", bad)
+	}
+	if e.Breached(later) {
+		t.Fatal("a spike the short window has forgotten must not breach")
+	}
+}
+
+// TestSLOBucketRecycling: an event a full ring-period later lands in the
+// same bucket slot and must reset it, not accumulate into year-old counts.
+func TestSLOBucketRecycling(t *testing.T) {
+	e := NewSLOEngine(nil, 0.99, 0)
+	base := time.Now().UnixNano()
+	e.Observe(0, false, base)
+	wrapped := base + int64(SLOLongWindow) // same slot, different second
+	e.Observe(0, true, wrapped)
+	good, bad := e.Totals(SLOLongWindow, wrapped)
+	if good != 1 || bad != 0 {
+		t.Fatalf("recycled bucket kept stale counts: good=%d bad=%d", good, bad)
+	}
+}
+
+func TestSLOObjectiveClamping(t *testing.T) {
+	if got := NewSLOEngine(nil, 0.1, 0).Objective(); got != 0.5 {
+		t.Fatalf("objective 0.1 should clamp to 0.5, got %f", got)
+	}
+	if got := NewSLOEngine(nil, 1.0, 0).Objective(); got != 0.99999 {
+		t.Fatalf("objective 1.0 should clamp to 0.99999, got %f", got)
+	}
+}
+
+func TestSLONilSafety(t *testing.T) {
+	var e *SLOEngine
+	e.Observe(1, true, 1)
+	if g, b := e.Totals(time.Minute, 1); g != 0 || b != 0 {
+		t.Fatal("nil Totals")
+	}
+	if e.BurnRate(time.Minute, 1) != 0 || e.Breached(1) {
+		t.Fatal("nil burn")
+	}
+	if e.Objective() != 0 || e.TargetNs() != 0 {
+		t.Fatal("nil accessors")
+	}
+}
+
+// TestSLOExposition: with a registry wired, the batchmaker_slo_* families
+// render; the golden exposition elsewhere proves they stay absent when no
+// engine is built.
+func TestSLOExposition(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(reg, 0.999, 50*time.Millisecond)
+	now := time.Now().UnixNano()
+	e.Observe(int64(time.Millisecond), true, now)
+	e.Observe(0, false, now)
+	var b strings.Builder
+	if err := reg.WritePromTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{
+		MetricSLOObjective, MetricSLOGood, MetricSLOBad,
+		MetricSLOBurnRate, MetricSLOBudgetRemaining,
+	} {
+		if !strings.Contains(out, fam) {
+			t.Fatalf("exposition missing %s:\n%s", fam, out)
+		}
+	}
+}

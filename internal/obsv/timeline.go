@@ -11,9 +11,22 @@ type TimelineEvent struct {
 	Kind string `json:"kind"`
 	// T is the event time in unix nanoseconds.
 	T int64 `json:"t_unix_ns"`
-	// SinceAdmitNs is T relative to the request's admit record (omitted
-	// when the admit record was not retained).
+	// SinceAdmitNs is T relative to the request's admit record. It is
+	// omitted (never negative) in exactly two cases: on the admit event
+	// itself (where it would be 0), and on every event of a timeline whose
+	// admit record was overwritten in the bounded ring — a terminal with
+	// no admit means the request outlived the ring's retention, not that
+	// it was never admitted (see Timeline.SinceAdmitOmitted).
 	SinceAdmitNs int64 `json:"since_admit_ns,omitempty"`
+	// Worker and Device identify the executing lane for first_exec events
+	// (pointers so worker/device 0 is distinguishable from "not an exec
+	// event").
+	Worker *int `json:"worker,omitempty"`
+	Device *int `json:"device,omitempty"`
+	// Batch is the live batch size of the task that first executed this
+	// request (first_exec events; 0 when the writer predates batch
+	// stamping).
+	Batch int `json:"batch,omitempty"`
 }
 
 // Timeline is one request's reconstructed admit→…→terminal history,
@@ -28,6 +41,11 @@ type Timeline struct {
 	// when the admit, first-exec, and terminal records were all retained.
 	QueuingNs     int64 `json:"queuing_ns,omitempty"`
 	ComputationNs int64 `json:"computation_ns,omitempty"`
+	// SinceAdmitOmitted explains why the events carry no since_admit_ns:
+	// "admit_overwritten" when the ring's drop-oldest overwrite discarded
+	// the admit record before reconstruction. Empty when the admit was
+	// retained.
+	SinceAdmitOmitted string `json:"since_admit_omitted,omitempty"`
 }
 
 func isTerminal(k Kind) bool {
@@ -61,7 +79,13 @@ func (o *Observer) Timelines(limit int) []*Timeline {
 			byReq[rec.Req] = tl
 			order = append(order, rec.Req)
 		}
-		tl.Events = append(tl.Events, TimelineEvent{Kind: rec.Kind.String(), T: rec.T0})
+		ev := TimelineEvent{Kind: rec.Kind.String(), T: rec.T0}
+		if rec.Kind == KindFirstExec {
+			w, d := int(rec.Worker), int(rec.Device)
+			ev.Worker, ev.Device = &w, &d
+			ev.Batch = int(rec.Batch)
+		}
+		tl.Events = append(tl.Events, ev)
 		if isTerminal(rec.Kind) {
 			tl.Outcome = rec.Kind.String()
 		}
@@ -92,6 +116,9 @@ func (o *Observer) Timelines(limit int) []*Timeline {
 			if terminal != 0 {
 				tl.ComputationNs = terminal - firstExec
 			}
+		}
+		if admit == 0 {
+			tl.SinceAdmitOmitted = "admit_overwritten"
 		}
 	}
 	// Most recently admitted first: order holds first-seen order of the

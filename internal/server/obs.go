@@ -26,6 +26,13 @@ type ObsConfig struct {
 	// metric updates. Used by the tracing-off arm of the overhead
 	// benchmark.
 	Disabled bool
+	// SLOTarget arms the SLO burn-rate engine: a completion slower than
+	// the target (or any failure/expiry) burns error budget. Zero leaves
+	// the engine off and the batchmaker_slo_* families unregistered.
+	SLOTarget time.Duration
+	// SLOObjective is the availability objective the budget is computed
+	// against (0 means 0.999 when SLOTarget is set).
+	SLOObjective float64
 }
 
 // obsType caches one cell type's per-type observability handles so the
@@ -42,8 +49,9 @@ type obsType struct {
 // the request processor writes rpRing, the scheduler loop writes schedRing,
 // and worker i writes workerRings[i].
 type serverObs struct {
-	o  *obsv.Observer
-	sm *obsv.ServingMetrics
+	o   *obsv.Observer
+	sm  *obsv.ServingMetrics
+	slo *obsv.SLOEngine
 
 	rpRing      *obsv.Ring
 	schedRing   *obsv.Ring
@@ -51,15 +59,27 @@ type serverObs struct {
 	workers     []*obsv.WorkerMetrics
 	devices     []*obsv.DeviceMetrics
 
+	// workerDevice maps worker index -> device pool, for stamping Device
+	// into span records. The slice is shared with the Server and fully
+	// populated before any pipeline goroutine starts.
+	workerDevice []core.DeviceID
+
+	// pm is the adaptive-policy metrics handle (nil when no policy is
+	// wired); Health reads its gauges to surface shed state.
+	pm *obsv.PolicyMetrics
+
 	// types is read-only after construction; worker goroutines look their
 	// type up per task.
 	types map[string]*obsType
 }
 
 // newServerObs builds the observability bridge for a server with the given
-// cell specs, worker count, and device-pool count. Returns nil when
-// cfg.Disabled — the nil *serverObs is the "off" implementation.
-func newServerObs(cfg ObsConfig, specs []CellSpec, workers, devices int) *serverObs {
+// cell specs, worker count, and device-pool count. workerDevice maps each
+// worker to its device pool (nil means everything on device 0); the slice
+// may still be getting populated — it must be complete before the pipeline
+// goroutines start. Returns nil when cfg.Disabled — the nil *serverObs is
+// the "off" implementation.
+func newServerObs(cfg ObsConfig, specs []CellSpec, workers, devices int, workerDevice []core.DeviceID) *serverObs {
 	if cfg.Disabled {
 		return nil
 	}
@@ -71,9 +91,17 @@ func newServerObs(cfg ObsConfig, specs []CellSpec, workers, devices int) *server
 	rings := ringCap >= 0
 	o := obsv.NewObserver(reg, ringCap, cfg.Sample)
 	ob := &serverObs{
-		o:     o,
-		sm:    o.Metrics,
-		types: make(map[string]*obsType, len(specs)),
+		o:            o,
+		sm:           o.Metrics,
+		workerDevice: workerDevice,
+		types:        make(map[string]*obsType, len(specs)),
+	}
+	if cfg.SLOTarget > 0 {
+		obj := cfg.SLOObjective
+		if obj == 0 {
+			obj = 0.999
+		}
+		ob.slo = obsv.NewSLOEngine(reg, obj, cfg.SLOTarget)
 	}
 	if rings {
 		ob.rpRing = o.NewRing("rp")
@@ -105,8 +133,32 @@ func newServerObs(cfg ObsConfig, specs []CellSpec, workers, devices int) *server
 			prec = pc.Precision()
 		}
 		o.Metrics.SetTypePrecision(key, prec.String())
+		o.SetTypeDetail(key, obsv.TypeDetail{
+			MaxBatch:  cs.MaxBatch,
+			Precision: prec.String(),
+		})
 	}
 	return ob
+}
+
+// dev resolves a worker's device-pool index for record stamping.
+func (ob *serverObs) dev(worker int) uint8 {
+	if worker >= 0 && worker < len(ob.workerDevice) {
+		return uint8(ob.workerDevice[worker])
+	}
+	return 0
+}
+
+// taskFlags packs a task's remote/migration markers into record flag bits.
+func taskFlags(task *core.Task) uint8 {
+	var f uint8
+	if task.Remote {
+		f |= obsv.FlagRemote
+	}
+	if task.Migrations > 0 {
+		f |= obsv.FlagMigrated
+	}
+	return f
 }
 
 func itoa(v int) string {
@@ -175,7 +227,47 @@ func (ob *serverObs) terminal(r *request, kind obsv.Kind, nowNs int64) {
 				time.Duration(nowNs-first))
 		}
 	}
+	// Feed the SLO burn engine: completions burn budget only when over the
+	// latency target, failures and expiries always, cancellations never
+	// (the client walked away — that is not the server's error).
+	switch kind {
+	case obsv.KindComplete:
+		var latency int64
+		if r.admittedNs > 0 {
+			latency = nowNs - r.admittedNs
+		}
+		ob.slo.Observe(latency, true, nowNs)
+	case obsv.KindFail, obsv.KindExpire:
+		ob.slo.Observe(0, false, nowNs)
+	}
 	ob.rpRing.Write(obsv.Record{Kind: kind, Req: int64(r.id), T0: nowNs})
+}
+
+// policyShed records the adaptive admission gate shedding one submission
+// (request-processor goroutine; rpRing single-writer preserved).
+func (ob *serverObs) policyShed(nowNs int64) {
+	if ob == nil {
+		return
+	}
+	ob.rpRing.Write(obsv.Record{Kind: obsv.KindPolicyShed, T0: nowNs})
+}
+
+// policyMaxBatch records one adaptive MaxBatch move (request-processor
+// goroutine — policy.Completed runs there).
+func (ob *serverObs) policyMaxBatch(typeKey string, maxBatch int, nowNs int64) {
+	if ob == nil {
+		return
+	}
+	var typeID uint16
+	if ot := ob.types[typeKey]; ot != nil {
+		typeID = ot.id
+	}
+	ob.rpRing.Write(obsv.Record{
+		Kind:  obsv.KindPolicyBatch,
+		Type:  typeID,
+		Batch: uint16(maxBatch),
+		T0:    nowNs,
+	})
 }
 
 // gauges refreshes the request-processor-owned backlog gauges.
@@ -209,6 +301,8 @@ func (ob *serverObs) dispatch(task *core.Task, queueDepth int, nowNs int64) {
 			Type:   typeID,
 			Batch:  uint16(task.BatchSize()),
 			Queue:  uint16(queueDepth),
+			Device: ob.dev(int(task.Worker)),
+			Flags:  taskFlags(task),
 			T0:     nowNs,
 		})
 	}
@@ -231,12 +325,19 @@ func (ob *serverObs) mirrorScheduler(sched *core.Scheduler, outstanding []int) {
 	}
 }
 
-// pinMoves records pin rebalances made by the scheduler loop.
+// pinMoves records pin rebalances made by the scheduler loop: the counter
+// and a rebalance span on the scheduler's ring (always written — rebalances
+// are rare and each one matters when diagnosing a storm).
 func (ob *serverObs) pinMoves(n int) {
 	if ob == nil {
 		return
 	}
 	ob.sm.PinMoves.Add(int64(n))
+	ob.schedRing.Write(obsv.Record{
+		Kind:  obsv.KindRebalance,
+		Batch: uint16(n),
+		T0:    time.Now().UnixNano(),
+	})
 }
 
 // deviceCopies records dispatched tasks that paid a cross-device copy.
@@ -262,6 +363,8 @@ func (ob *serverObs) firstExec(workerID int, refs []execRef, nowNs int64) {
 			ob.workerRings[workerID].Write(obsv.Record{
 				Kind:   obsv.KindFirstExec,
 				Worker: uint8(workerID),
+				Batch:  uint16(len(refs)),
+				Device: ob.dev(workerID),
 				Req:    int64(ref.req.id),
 				T0:     nowNs,
 			})
@@ -297,6 +400,8 @@ func (ob *serverObs) taskExec(workerID int, task *core.Task, live int, arenaHigh
 			Type:   typeID,
 			Batch:  uint16(live),
 			Queue:  uint16(task.QueueDepth),
+			Device: ob.dev(workerID),
+			Flags:  taskFlags(task),
 			T0:     task.DispatchedAt,
 			T1:     endNs,
 		})
@@ -364,6 +469,24 @@ func (s *Server) Metrics() *obsv.ServingMetrics {
 	return s.obs.sm
 }
 
+// SLO returns the server's SLO burn-rate engine, or nil when no SLOTarget
+// was configured (or observability is disabled).
+func (s *Server) SLO() *obsv.SLOEngine {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.slo
+}
+
+// PolicyMetrics returns the adaptive-policy metric handles, or nil when no
+// policy (or no observability) is wired.
+func (s *Server) PolicyMetrics() *obsv.PolicyMetrics {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.pm
+}
+
 // Health reports the server's drain/overload state for /healthz probes.
 func (s *Server) Health() obsv.Health {
 	stopped := false
@@ -388,6 +511,10 @@ func (s *Server) Health() obsv.Health {
 		Overloaded:   overloaded,
 		LiveRequests: live,
 		QueuedCells:  queued,
+	}
+	if s.obs != nil && s.obs.pm != nil {
+		h.PolicyShedding = s.obs.pm.Shedding.Value() == 1
+		h.PolicySheds = s.obs.pm.Sheds.Value()
 	}
 	switch {
 	case stopped:

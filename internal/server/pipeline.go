@@ -167,7 +167,9 @@ func (rp *rpState) admit(cmd admitCmd) error {
 	if p := s.policy; p != nil {
 		// Little's-law gate: shed before the queue spirals past the SLA,
 		// ahead of (and more conservative than) the static bounds above.
-		if d := p.Admit(time.Now().UnixNano(), rp.queuedCells); !d.Admit {
+		nowNs := time.Now().UnixNano()
+		if d := p.Admit(nowNs, rp.queuedCells); !d.Admit {
+			rp.s.obs.policyShed(nowNs)
 			rp.reject()
 			return &OverloadError{EstWait: d.EstWait, RetryAfter: d.RetryAfter}
 		}
@@ -345,6 +347,7 @@ func (rp *rpState) complete(rec completion) {
 				moves := p.Completed(nowNs, r.cells,
 					time.Duration(fe-r.admittedNs), time.Duration(nowNs-fe))
 				for _, mv := range moves {
+					s.obs.policyMaxBatch(mv.Key, mv.MaxBatch, nowNs)
 					s.slCmds <- slCmd{kind: slSetMaxBatch, typeKey: mv.Key, batch: mv.MaxBatch}
 				}
 			}

@@ -450,6 +450,10 @@ func New(cfg Config) (*Server, error) {
 	if depth < mts {
 		depth = mts
 	}
+	// workerDevice is shared with the observability bridge (for stamping
+	// device identity into span records); it is fully populated below,
+	// before any pipeline goroutine starts.
+	workerDevice := make([]core.DeviceID, totalWorkers)
 	s := &Server{
 		cfg:           cfg,
 		cells:         cells,
@@ -460,7 +464,7 @@ func New(cfg Config) (*Server, error) {
 		maxRetries:    maxRetries,
 		retryBackoff:  backoff,
 		pools:         pools,
-		workerDevice:  make([]core.DeviceID, totalWorkers),
+		workerDevice:  workerDevice,
 		workerLane:    make([]int, totalWorkers),
 		cmds:          make(chan any),
 		completions:   make(chan completion, totalWorkers*depth+totalWorkers),
@@ -479,7 +483,7 @@ func New(cfg Config) (*Server, error) {
 		deviceCells:   make([]int, len(pools)),
 		deviceCopies:  make([]int, len(pools)),
 		dispatchLat:   metrics.NewWindow(4096),
-		obs:           newServerObs(cfg.Obs, cfg.Cells, totalWorkers, len(pools)),
+		obs:           newServerObs(cfg.Obs, cfg.Cells, totalWorkers, len(pools), workerDevice),
 	}
 	w := 0
 	for d, p := range pools {
@@ -507,6 +511,7 @@ func New(cfg Config) (*Server, error) {
 		var pm *obsv.PolicyMetrics
 		if s.obs != nil {
 			pm = obsv.NewPolicyMetrics(s.obs.sm.Registry())
+			s.obs.pm = pm
 		}
 		s.policy = policy.New(cfg.Policy, bounds, pm)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"batchmaker/internal/cellgraph"
 	"batchmaker/internal/core"
+	"batchmaker/internal/obsv"
 	"batchmaker/internal/rnn"
 	"batchmaker/internal/tensor"
 )
@@ -39,10 +40,11 @@ func workerAllocFixture(tb testing.TB, reqN, chainN int, prec rnn.Precision) (*S
 		deviceTasks:   make([]int, 1),
 		deviceCells:   make([]int, 1),
 		deviceCopies:  make([]int, 1),
-		// Event tracing ON at default sampling: the zero-alloc gate must
-		// hold with the full observability layer live, exactly as New()
-		// builds it.
-		obs: newServerObs(ObsConfig{}, []CellSpec{{Cell: lstm, MaxBatch: reqN}}, 1, 1),
+		// Event tracing ON at default sampling, with the SLO burn engine
+		// armed: the zero-alloc gate must hold with the full observability
+		// layer live, exactly as New() builds it.
+		obs: newServerObs(ObsConfig{SLOTarget: 50 * time.Millisecond},
+			[]CellSpec{{Cell: lstm, MaxBatch: reqN}}, 1, 1, nil),
 	}
 	tasks := make([]*core.Task, chainN)
 	for i := range tasks {
@@ -113,6 +115,22 @@ func workerZeroAllocGate(t *testing.T, prec rnn.Precision) {
 	}
 	const reqN, chainN, warm = 4, 600, 100
 	s, tasks, graphs := workerAllocFixture(t, reqN, chainN, prec)
+
+	// The anomaly detector must not disturb the hot path: run it live (at
+	// its default cadence) for the whole measurement. Detection reads the
+	// registry and rings on its own goroutine — execTask never touches it.
+	fr, err := obsv.NewFlightRecorder(s.Observer(), obsv.FlightRecorderConfig{
+		Dir: t.TempDir(),
+		SLA: time.Second,
+		SLO: s.SLO(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Evaluate(time.Now().UnixNano())
+	fr.Run()
+	defer fr.Stop()
+
 	ws := newWorkerExec()
 	for _, task := range tasks[:warm] {
 		runAllocTask(t, s, task, ws)

@@ -41,6 +41,14 @@ type BatchMakerConfig struct {
 	// be scraped or summarized exactly like a real one. Nil disables the
 	// hook.
 	Metrics *obsv.ServingMetrics
+	// Observer, when set, receives the same span-ring records the live
+	// server writes (admit/terminal lifecycle, dispatch, task-exec,
+	// first-exec, policy and rebalance events) at virtual-time
+	// timestamps, so Observer.WriteTrace assembles a Perfetto trace of a
+	// sim run exactly as it does for a live one — paper-style figures
+	// straight from traces. The sim's event loop is one goroutine, so it
+	// is the single writer of every ring it creates.
+	Observer *obsv.Observer
 	// Policy, when set, mirrors the live server's adaptive control layer in
 	// virtual time: the Little's-law gate sheds arrivals (counted in the
 	// result extras, never admitted) and AIMD MaxBatch moves are applied to
@@ -96,6 +104,12 @@ type batchMakerSim struct {
 	obsTypes map[string]*bmObsType
 	// obsDevs caches per-device metric handles; nil when cfg.Metrics is nil.
 	obsDevs []*obsv.DeviceMetrics
+	// Span rings mirroring the live pipeline's writer layout; nil (no-op)
+	// when cfg.Observer is nil.
+	rpRing      *obsv.Ring
+	schedRing   *obsv.Ring
+	workerRings []*obsv.Ring
+	typeIDs     map[string]uint16
 }
 
 // bmObsType is one cell type's cached metric handles for the sim hook.
@@ -168,6 +182,19 @@ func RunBatchMaker(cfg BatchMakerConfig, wl Workload, run RunConfig) (*metrics.R
 			s.obsDevs[d] = cfg.Metrics.Device(d)
 		}
 	}
+	if o := cfg.Observer; o != nil {
+		s.rpRing = o.NewRing("rp")
+		s.schedRing = o.NewRing("sched")
+		s.workerRings = make([]*obsv.Ring, cfg.NumGPUs)
+		for w := range s.workerRings {
+			s.workerRings[w] = o.NewRing(fmt.Sprintf("worker-%d", w))
+		}
+		s.typeIDs = make(map[string]uint16)
+		for _, tc := range cfg.Model.Types() {
+			s.typeIDs[tc.Key] = o.InternType(tc.Key)
+			o.SetTypeDetail(tc.Key, obsv.TypeDetail{MaxBatch: tc.MaxBatch, Precision: "f32"})
+		}
+	}
 	arrivals := dataset.NewPoisson(run.Seed, run.RatePerSec)
 	s.scheduleArrival(arrivals, s.nextArrival(arrivals, 0))
 	for s.eng.Step() {
@@ -223,6 +250,8 @@ func (s *batchMakerSim) admit() {
 			if m := s.cfg.Metrics; m != nil {
 				m.Rejected.Inc()
 			}
+			s.rpRing.Write(obsv.Record{Kind: obsv.KindPolicyShed, T0: int64(s.eng.Now())})
+			s.rpRing.Write(obsv.Record{Kind: obsv.KindReject, T0: int64(s.eng.Now())})
 			return
 		}
 	}
@@ -247,6 +276,7 @@ func (s *batchMakerSim) admit() {
 		m.Admitted.Inc()
 		m.Inflight.Set(int64(len(s.reqs)))
 	}
+	s.rpRing.Write(obsv.Record{Kind: obsv.KindAdmit, Req: int64(id), T0: int64(req.arrival)})
 	for _, spec := range tr.InitialSubgraphs() {
 		spec.Deadline = int64(req.deadline)
 		if _, err := s.sched.AddSubgraph(spec); err != nil {
@@ -264,6 +294,9 @@ func (s *batchMakerSim) kickIdleWorkers() {
 		if m := s.cfg.Metrics; m != nil {
 			m.PinMoves.Add(int64(moved))
 		}
+		s.schedRing.Write(obsv.Record{
+			Kind: obsv.KindRebalance, Batch: uint16(moved), T0: int64(s.eng.Now()),
+		})
 	}
 	for w := range s.gpus {
 		if s.inflight[w] == 0 {
@@ -321,13 +354,52 @@ func (s *batchMakerSim) scheduleWorker(w core.WorkerID) {
 				s.obsDevs[dev].Copies.Inc()
 			}
 		}
+		var flags uint8
+		if task.Remote {
+			flags |= obsv.FlagRemote
+		}
+		if task.Migrations > 0 {
+			flags |= obsv.FlagMigrated
+		}
+		s.schedRing.Write(obsv.Record{
+			Kind:   obsv.KindDispatch,
+			Worker: uint8(w),
+			Type:   s.typeIDs[task.TypeKey],
+			Batch:  uint16(task.BatchSize()),
+			Queue:  uint16(s.inflight[w]),
+			Device: uint8(dev),
+			Flags:  flags,
+			T0:     int64(s.eng.Now()),
+		})
 		start, end := gpu.Submit(s.eng.Now(), dur)
 		for _, ref := range task.Nodes {
 			req := s.reqs[ref.Req]
 			if !req.hasExec {
 				req.hasExec = true
 				req.firstExec = start
+				if s.workerRings != nil {
+					s.workerRings[w].Write(obsv.Record{
+						Kind:   obsv.KindFirstExec,
+						Worker: uint8(w),
+						Batch:  uint16(task.BatchSize()),
+						Device: uint8(dev),
+						Req:    int64(ref.Req),
+						T0:     int64(start),
+					})
+				}
 			}
+		}
+		if s.workerRings != nil {
+			s.workerRings[w].Write(obsv.Record{
+				Kind:   obsv.KindTaskExec,
+				Worker: uint8(w),
+				Type:   s.typeIDs[task.TypeKey],
+				Batch:  uint16(task.BatchSize()),
+				Device: uint8(dev),
+				Flags:  flags,
+				T0:     int64(start),
+				T1:     int64(end),
+			})
 		}
 		s.inflight[w]++
 		t := task
@@ -374,10 +446,19 @@ func (s *batchMakerSim) onTaskDone(w core.WorkerID, task *core.Task, end time.Du
 				m.Inflight.Set(int64(len(s.reqs)))
 				m.ObserveLatencySplit(req.firstExec-req.arrival, end-req.firstExec)
 			}
+			s.rpRing.Write(obsv.Record{
+				Kind: obsv.KindComplete, Req: int64(ref.Req), T0: int64(end),
+			})
 			if p := s.cfg.Policy; p != nil {
 				moves := p.Completed(int64(end), req.cells,
 					req.firstExec-req.arrival, end-req.firstExec)
 				for _, mv := range moves {
+					s.rpRing.Write(obsv.Record{
+						Kind:  obsv.KindPolicyBatch,
+						Type:  s.typeIDs[mv.Key],
+						Batch: uint16(mv.MaxBatch),
+						T0:    int64(end),
+					})
 					s.sched.SetMaxBatch(mv.Key, mv.MaxBatch)
 				}
 			}
